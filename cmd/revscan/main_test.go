@@ -1,0 +1,33 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunTinyScale(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-scale", "0.0003", "-seed", "5"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{
+		"scans ingested:        74",
+		"crawl days:            181",
+		"certificates observed:",
+		"final fresh-revoked:",
+		"CRLSet entries:",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("missing %q in output:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-scale", "banana"}, &out, &errOut); code != 1 {
+		t.Errorf("bad flag: exit = %d", code)
+	}
+}

@@ -1,0 +1,77 @@
+// Command testsuite runs the 250-configuration browser revocation test
+// suite against every modelled browser/OS profile and prints the paper's
+// Table 2 matrix. With -profile it prints per-case outcomes for a single
+// profile instead.
+//
+// Usage:
+//
+//	testsuite [-profile "Firefox 40"]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/browser"
+	"repro/internal/testsuite"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the suite; main minus process concerns.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("testsuite", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	profileName := fs.String("profile", "", "print per-case outcomes for this profile only")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	fmt.Fprintln(stderr, "building test suite...")
+	suite, err := testsuite.Build(testsuite.Generate())
+	if err != nil {
+		fmt.Fprintln(stderr, "testsuite:", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "built %d cases\n", len(suite.Cases))
+
+	if *profileName != "" {
+		var profile *browser.Profile
+		for _, p := range browser.All() {
+			if p.Name == *profileName {
+				profile = p
+				break
+			}
+		}
+		if profile == nil {
+			fmt.Fprintf(stderr, "testsuite: unknown profile %q; available:\n", *profileName)
+			for _, p := range browser.All() {
+				fmt.Fprintf(stderr, "  %s\n", p.Name)
+			}
+			return 1
+		}
+		rep, err := suite.Run(profile)
+		if err != nil {
+			fmt.Fprintln(stderr, "testsuite:", err)
+			return 1
+		}
+		for _, id := range suite.SortedCaseIDs() {
+			fmt.Fprintf(stdout, "%-55s %s\n", id, rep.Outcomes[id])
+		}
+		return 0
+	}
+
+	m, err := suite.Matrix(browser.All())
+	if err != nil {
+		fmt.Fprintln(stderr, "testsuite:", err)
+		return 1
+	}
+	fmt.Fprint(stdout, m.Render())
+	fmt.Fprintln(stdout, "\nlegend: Y=passes in all cases, N=fails, ev=passes only for EV leaves,")
+	fmt.Fprintln(stdout, "        a=warns instead of rejecting, i=requests staple but ignores it, -=not applicable")
+	return 0
+}

@@ -1,0 +1,81 @@
+// Quickstart: stand up a CA with CRL and OCSP distribution, issue a
+// certificate, audit it, revoke it, and audit again — the full revocation
+// lifecycle in one page of code.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/ca"
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/crl"
+	"repro/internal/simnet"
+	"repro/internal/simtime"
+	"repro/internal/x509x"
+)
+
+func main() {
+	// A virtual clock and an in-process network fabric: the CA's CRL
+	// and OCSP endpoints are ordinary http.Handlers reachable through
+	// an *http.Client.
+	clock := simtime.NewClock(simtime.Date(2015, time.March, 1))
+	net := simnet.New()
+
+	authority, err := ca.NewRoot(ca.Config{
+		Name:         "Example CA",
+		NumCRLShards: 2,
+		CRLBaseURL:   "http://crl.example-ca.test/crl",
+		OCSPBaseURL:  "http://ocsp.example-ca.test/ocsp",
+		IncludeCRLDP: true,
+		IncludeOCSP:  true,
+		Clock:        clock.Now,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	net.Register("crl.example-ca.test", authority.Handler())
+	net.Register("ocsp.example-ca.test", authority.Handler())
+
+	// Issue a real, signed certificate.
+	cert, rec, err := authority.Issue(ca.IssueOptions{
+		CommonName: "www.example.test",
+		DNSNames:   []string{"www.example.test"},
+		NotBefore:  clock.Now(),
+		NotAfter:   clock.Now().AddDate(1, 0, 0),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("issued %s (serial %s), CRL at %s\n\n", cert.Subject, rec.Serial, rec.CRLURL)
+
+	auditor := &core.Auditor{
+		Roots: chain.NewPool(authority.Certificate()),
+		HTTP:  net.Client(),
+		Now:   clock.Now,
+	}
+	fullChain := []*x509x.Certificate{cert, authority.Certificate()}
+
+	report, err := auditor.AuditChain("www.example.test", fullChain, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("--- before revocation ---")
+	fmt.Print(report.Render())
+
+	// The administrator reports a key compromise.
+	clock.Advance(48 * time.Hour)
+	if err := authority.Revoke(rec.Serial, clock.Now(), crl.ReasonKeyCompromise); err != nil {
+		log.Fatal(err)
+	}
+	clock.Advance(25 * time.Hour) // let the cached CRL expire
+
+	report, err = auditor.AuditChain("www.example.test", fullChain, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n--- after revocation ---")
+	fmt.Print(report.Render())
+}

@@ -1,0 +1,90 @@
+package browser
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/crl"
+	"repro/internal/ocsp"
+)
+
+// Cache holds revocation data a checking client may reuse: CRLs until
+// their nextUpdate and OCSP single responses until theirs (§2.2 — clients
+// can cache CRLs, and OCSP responses are typically cacheable for days,
+// longer than most CRLs). A nil *Cache disables caching; one Cache is safe
+// for concurrent use by many clients.
+type Cache struct {
+	mu    sync.Mutex
+	crls  map[string]*crl.CRL
+	ocsps map[string]ocsp.SingleResponse
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{
+		crls:  make(map[string]*crl.CRL),
+		ocsps: make(map[string]ocsp.SingleResponse),
+	}
+}
+
+// CRL returns the cached CRL for url if it is still current at now.
+func (c *Cache) CRL(url string, now time.Time) (*crl.CRL, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cached, ok := c.crls[url]
+	if !ok || !cached.CurrentAt(now) {
+		delete(c.crls, url)
+		return nil, false
+	}
+	return cached, true
+}
+
+// PutCRL stores a CRL under its distribution-point URL. CRLs without a
+// nextUpdate are not cached (no safe reuse window).
+func (c *Cache) PutCRL(url string, parsed *crl.CRL) {
+	if c == nil || parsed.NextUpdate.IsZero() {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.crls[url] = parsed
+}
+
+// OCSP returns the cached single response for id if still current at now.
+func (c *Cache) OCSP(id ocsp.CertID, now time.Time) (ocsp.SingleResponse, bool) {
+	if c == nil {
+		return ocsp.SingleResponse{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sr, ok := c.ocsps[id.Key()]
+	if !ok || !sr.CurrentAt(now) {
+		delete(c.ocsps, id.Key())
+		return ocsp.SingleResponse{}, false
+	}
+	return sr, true
+}
+
+// PutOCSP stores a verified single response. Responses without a
+// nextUpdate are not cached.
+func (c *Cache) PutOCSP(id ocsp.CertID, sr ocsp.SingleResponse) {
+	if c == nil || sr.NextUpdate.IsZero() {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ocsps[id.Key()] = sr
+}
+
+// Len reports the number of cached CRLs and OCSP responses.
+func (c *Cache) Len() (crls, ocsps int) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.crls), len(c.ocsps)
+}

@@ -1,0 +1,349 @@
+package browser
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/crl"
+	"repro/internal/ocsp"
+	"repro/internal/x509x"
+)
+
+// Outcome is the connection-level decision after revocation checking.
+type Outcome int
+
+// Outcomes.
+const (
+	// OutcomeAccept proceeds silently.
+	OutcomeAccept Outcome = iota
+	// OutcomeWarn proceeds after asking the user (IE 10 style).
+	OutcomeWarn
+	// OutcomeReject aborts the connection.
+	OutcomeReject
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeAccept:
+		return "accept"
+	case OutcomeWarn:
+		return "warn"
+	case OutcomeReject:
+		return "reject"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// status is the result of one revocation lookup.
+type status int
+
+const (
+	stGood status = iota
+	stRevoked
+	stUnknown
+	stUnavailable
+)
+
+func (s status) String() string {
+	return [...]string{"good", "revoked", "unknown", "unavailable"}[s]
+}
+
+// Event logs one revocation-checking action, for the harness to inspect
+// (e.g. to verify CRL fallback actually fetched the CRL).
+type Event struct {
+	Subject  string
+	Pos      Position
+	Protocol string // "ocsp", "crl", "staple"
+	Result   string
+}
+
+// Verdict is the full result of evaluating one chain.
+type Verdict struct {
+	Outcome            Outcome
+	RevocationDetected bool
+	Events             []Event
+}
+
+// Client executes a Profile's revocation checking against presented
+// chains, performing real CRL downloads and OCSP queries through HTTP.
+type Client struct {
+	Profile *Profile
+	// HTTP performs fetches (a simnet client or a real one).
+	HTTP *http.Client
+	// Now is the validation time; time.Now when nil.
+	Now func() time.Time
+	// MaxCRLBytes caps CRL downloads (default 128 MiB).
+	MaxCRLBytes int64
+	// Cache, when non-nil, reuses CRLs and OCSP responses across
+	// evaluations until their validity windows lapse, as real browsers
+	// do (§2.2).
+	Cache *Cache
+}
+
+func (c *Client) now() time.Time {
+	if c.Now != nil {
+		return c.Now()
+	}
+	return time.Now()
+}
+
+// Evaluate runs the profile against a chain ordered leaf-first and ending
+// at the root, with an optional stapled OCSP response for the leaf. The
+// chain must contain at least the leaf and its root. Evaluate assumes the
+// chain already passed signature/path validation; it decides only the
+// revocation question.
+func (c *Client) Evaluate(chainCerts []*x509x.Certificate, staple []byte) (*Verdict, error) {
+	var staples [][]byte
+	if staple != nil {
+		staples = [][]byte{staple}
+	}
+	return c.EvaluateWithStaples(chainCerts, staples)
+}
+
+// EvaluateWithStaples is Evaluate with RFC 6961 multi-stapling: staples[i]
+// is the stapled OCSP response for chain element i (nil entries allowed).
+// Staples beyond the leaf are consulted only when the profile sets
+// MultiStaple.
+func (c *Client) EvaluateWithStaples(chainCerts []*x509x.Certificate, staples [][]byte) (*Verdict, error) {
+	if len(chainCerts) < 2 {
+		return nil, errors.New("browser: Evaluate needs a chain of at least leaf and root")
+	}
+	v := &Verdict{Outcome: OutcomeAccept}
+	leafEV := chainCerts[0].IsEV()
+	crlTab, ocspTab, fallback := c.Profile.behaviors(leafEV)
+
+	// Root certificates are exempt from revocation checking (§2.2
+	// footnote 4): iterate leaf through last intermediate.
+	for i := 0; i < len(chainCerts)-1; i++ {
+		cert := chainCerts[i]
+		issuer := chainCerts[i+1]
+		pos := position(i)
+		behPos := pos
+		if pos == PosLeaf && len(chainCerts) == 2 && c.Profile.TreatLeafAsInt1 {
+			behPos = PosInt1
+		}
+		behCRL, behOCSP := crlTab[behPos], ocspTab[behPos]
+
+		// Stapled response handling: the leaf always, deeper elements
+		// only with RFC 6961 multi-stapling.
+		var staple []byte
+		if i < len(staples) && (i == 0 || c.Profile.MultiStaple) {
+			staple = staples[i]
+		}
+		if len(staple) > 0 && c.Profile.RequestStaple && c.Profile.UseStaple {
+			st, ok := c.evalStaple(v, cert, issuer, pos, staple)
+			if ok {
+				switch st {
+				case stGood:
+					continue // leaf satisfied without a network fetch
+				case stRevoked:
+					if c.Profile.RespectRevokedStaple {
+						v.RevocationDetected = true
+						v.Outcome = OutcomeReject
+						return v, nil
+					}
+					// Chrome on OS X ignores the stapled revocation
+					// and falls through to an online check.
+				case stUnknown:
+					if c.Profile.RejectUnknown {
+						v.Outcome = OutcomeReject
+						return v, nil
+					}
+					continue // incorrectly treated as trusted
+				}
+			}
+		}
+
+		canOCSP := len(cert.OCSPServers) > 0 && behOCSP.Check &&
+			!(behOCSP.OnlyIfSoleProtocol && len(cert.CRLDistributionPoints) > 0)
+		canCRL := len(cert.CRLDistributionPoints) > 0 && behCRL.Check &&
+			!(behCRL.OnlyIfSoleProtocol && len(cert.OCSPServers) > 0)
+		if !canOCSP && !canCRL {
+			continue // nothing this browser would check here
+		}
+
+		var st status
+		var beh Behavior
+		if canOCSP {
+			st = c.fetchOCSP(v, cert, issuer, pos)
+			beh = behOCSP
+			if st == stUnavailable && fallback && len(cert.CRLDistributionPoints) > 0 {
+				st = c.fetchCRL(v, cert, issuer, pos)
+				if st != stUnavailable {
+					beh = behCRL
+				}
+			}
+		} else {
+			st = c.fetchCRL(v, cert, issuer, pos)
+			beh = behCRL
+		}
+
+		switch st {
+		case stGood:
+			// fine; next certificate
+		case stRevoked:
+			v.RevocationDetected = true
+			v.Outcome = OutcomeReject
+			return v, nil
+		case stUnknown:
+			if c.Profile.RejectUnknown {
+				v.Outcome = OutcomeReject
+				return v, nil
+			}
+		case stUnavailable:
+			switch {
+			case beh.RejectUnavailable:
+				v.Outcome = OutcomeReject
+				return v, nil
+			case beh.WarnUnavailable:
+				v.Outcome = OutcomeWarn
+			}
+		}
+	}
+	return v, nil
+}
+
+// position classifies index i in a leaf-first chain: the leaf, the first
+// intermediate (the leaf's issuer), and everything deeper.
+func position(i int) Position {
+	switch {
+	case i == 0:
+		return PosLeaf
+	case i == 1:
+		return PosInt1
+	default:
+		return PosIntDeep
+	}
+}
+
+func (c *Client) log(v *Verdict, cert *x509x.Certificate, pos Position, proto string, result string) {
+	v.Events = append(v.Events, Event{
+		Subject:  cert.Subject.CommonName,
+		Pos:      pos,
+		Protocol: proto,
+		Result:   result,
+	})
+}
+
+// evalStaple validates a stapled OCSP response. ok is false when the
+// staple is unusable (wrong cert, bad signature, stale) and online
+// checking should proceed as if no staple were present.
+func (c *Client) evalStaple(v *Verdict, leaf, issuer *x509x.Certificate, pos Position, staple []byte) (status, bool) {
+	resp, err := ocsp.ParseResponse(staple)
+	if err != nil || resp.RespStatus != ocsp.RespSuccessful {
+		c.log(v, leaf, pos, "staple", "invalid")
+		return stUnavailable, false
+	}
+	if err := resp.VerifySignatureFrom(issuer); err != nil {
+		c.log(v, leaf, pos, "staple", "bad-signature")
+		return stUnavailable, false
+	}
+	id := ocsp.NewCertID(issuer, leaf.SerialNumber)
+	sr, found := resp.Find(id)
+	if !found || !sr.CurrentAt(c.now()) {
+		c.log(v, leaf, pos, "staple", "stale")
+		return stUnavailable, false
+	}
+	st := fromOCSPStatus(sr.Status)
+	c.log(v, leaf, pos, "staple", st.String())
+	return st, true
+}
+
+func fromOCSPStatus(s ocsp.Status) status {
+	switch s {
+	case ocsp.StatusGood:
+		return stGood
+	case ocsp.StatusRevoked:
+		return stRevoked
+	default:
+		return stUnknown
+	}
+}
+
+func (c *Client) fetchOCSP(v *Verdict, cert, issuer *x509x.Certificate, pos Position) status {
+	id := ocsp.NewCertID(issuer, cert.SerialNumber)
+	if sr, ok := c.Cache.OCSP(id, c.now()); ok {
+		st := fromOCSPStatus(sr.Status)
+		c.log(v, cert, pos, "ocsp", st.String()+" (cached)")
+		return st
+	}
+	client := &ocsp.Client{HTTP: c.HTTP}
+	var last status = stUnavailable
+	for _, url := range cert.OCSPServers {
+		sr, err := client.Check(url, issuer, cert.SerialNumber)
+		if err != nil {
+			c.log(v, cert, pos, "ocsp", "unavailable")
+			continue
+		}
+		if !sr.CurrentAt(c.now()) {
+			c.log(v, cert, pos, "ocsp", "stale")
+			continue
+		}
+		c.Cache.PutOCSP(id, sr)
+		last = fromOCSPStatus(sr.Status)
+		c.log(v, cert, pos, "ocsp", last.String())
+		return last
+	}
+	return last
+}
+
+func (c *Client) fetchCRL(v *Verdict, cert, issuer *x509x.Certificate, pos Position) status {
+	for _, url := range cert.CRLDistributionPoints {
+		cachedNote := ""
+		parsed, cached := c.Cache.CRL(url, c.now())
+		if !cached {
+			var err error
+			parsed, err = c.downloadCRL(url)
+			if err != nil {
+				c.log(v, cert, pos, "crl", "unavailable")
+				continue
+			}
+			if err := parsed.VerifySignature(issuer); err != nil {
+				c.log(v, cert, pos, "crl", "bad-signature")
+				continue
+			}
+			if !parsed.CurrentAt(c.now()) {
+				c.log(v, cert, pos, "crl", "stale")
+				continue
+			}
+			c.Cache.PutCRL(url, parsed)
+		} else {
+			cachedNote = " (cached)"
+		}
+		if parsed.Contains(cert.SerialNumber) {
+			c.log(v, cert, pos, "crl", "revoked"+cachedNote)
+			return stRevoked
+		}
+		c.log(v, cert, pos, "crl", "good"+cachedNote)
+		return stGood
+	}
+	return stUnavailable
+}
+
+func (c *Client) downloadCRL(url string) (*crl.CRL, error) {
+	httpClient := c.HTTP
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	resp, err := httpClient.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("browser: CRL fetch: HTTP %d", resp.StatusCode)
+	}
+	limit := c.MaxCRLBytes
+	if limit <= 0 {
+		limit = 128 << 20
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, limit))
+	if err != nil {
+		return nil, err
+	}
+	return crl.Parse(body)
+}

@@ -1,0 +1,25 @@
+package browser_test
+
+import (
+	"fmt"
+
+	"repro/internal/browser"
+)
+
+// The Table 2 profiles capture what each browser actually checked in
+// 2015. Mobile browsers checked nothing at all.
+func ExampleProfile_ChecksAnything() {
+	for _, p := range []*browser.Profile{
+		browser.Firefox40(),
+		browser.Safari6to8(),
+		browser.MobileSafari(),
+		browser.AndroidStock(),
+	} {
+		fmt.Printf("%-14s checks revocation for non-EV chains: %t\n", p.Name, p.ChecksAnything())
+	}
+	// Output:
+	// Firefox 40     checks revocation for non-EV chains: true
+	// Safari 6-8     checks revocation for non-EV chains: true
+	// iOS 6-8        checks revocation for non-EV chains: false
+	// Android Stock  checks revocation for non-EV chains: false
+}

@@ -1,0 +1,133 @@
+// Package browser models client-side revocation checking: a Profile
+// describes what one browser/OS combination checks (which chain positions,
+// which protocols, EV-only special cases, soft- vs hard-failure on
+// unavailable revocation data, OCSP-staple handling), and Client executes
+// a profile against a presented chain by performing real CRL downloads and
+// OCSP queries.
+//
+// The profiles in profiles.go encode the paper's Table 2 column by column;
+// the test suite in internal/testsuite measures them end-to-end, so a
+// mis-encoded profile shows up as a cell mismatch rather than silently
+// propagating.
+//
+// Position convention: the chain is leaf-first, so Int1 is the first
+// intermediate in the presented chain (the leaf's issuer), matching the
+// paper's "first intermediate in the chain" phrasing; deeper intermediates
+// are Int2+.
+package browser
+
+// Position classifies where a certificate sits in the presented chain.
+type Position int
+
+// Positions.
+const (
+	PosLeaf Position = iota
+	PosInt1
+	PosIntDeep
+)
+
+func (p Position) String() string {
+	switch p {
+	case PosLeaf:
+		return "leaf"
+	case PosInt1:
+		return "int1"
+	case PosIntDeep:
+		return "int2+"
+	default:
+		return "?"
+	}
+}
+
+// Behavior is one browser's policy for one (protocol, position) cell.
+type Behavior struct {
+	// Check: the browser fetches revocation status here.
+	Check bool
+	// OnlyIfSoleProtocol restricts Check to certificates that carry only
+	// this protocol's pointer (Chrome on Windows checks non-EV CRLs only
+	// when no OCSP responder is listed).
+	OnlyIfSoleProtocol bool
+	// RejectUnavailable hard-fails the connection when the revocation
+	// status cannot be obtained. Soft-failing browsers leave this false
+	// and accept — the behaviour §2.3 criticizes.
+	RejectUnavailable bool
+	// WarnUnavailable surfaces a user warning instead of hard-failing
+	// (IE 10's leaf behaviour).
+	WarnUnavailable bool
+}
+
+// Profile is one browser/OS column of Table 2.
+type Profile struct {
+	// Name is the display name ("Chrome 44 (Windows)").
+	Name string
+	// Browser and OS identify the software.
+	Browser string
+	OS      string
+	// Mobile marks the mobile columns.
+	Mobile bool
+
+	// CRL and OCSP give the per-position behaviour (indexed by
+	// Position) for non-EV leaves.
+	CRL  [3]Behavior
+	OCSP [3]Behavior
+
+	// EV, when non-nil, replaces the CRL/OCSP tables when the leaf is an
+	// EV certificate (Chrome and Firefox behave differently for EV).
+	EV *EVBehavior
+
+	// RejectUnknown rejects the chain on an OCSP response with status
+	// unknown; browsers that leave it false incorrectly treat unknown
+	// as trusted.
+	RejectUnknown bool
+
+	// FallbackToCRL tries the CRL when an OCSP responder is unavailable
+	// and the certificate also lists a distribution point.
+	FallbackToCRL bool
+
+	// RequestStaple sends the TLS status_request extension; UseStaple
+	// consults a received staple (Android browsers request staples and
+	// then ignore them). RespectRevokedStaple rejects on a stapled
+	// revoked response; Chrome on OS X instead ignores it and queries
+	// the responder directly.
+	RequestStaple        bool
+	UseStaple            bool
+	RespectRevokedStaple bool
+
+	// MultiStaple enables the Multiple Certificate Status Request
+	// extension (RFC 6961), which §9 identifies as the missing piece:
+	// plain stapling covers only the leaf, so intermediate checks still
+	// cost a fetch. No browser in the study supported it.
+	MultiStaple bool
+
+	// TreatLeafAsInt1 applies Int1's unavailability behaviour to the
+	// leaf when the chain has no intermediates ("...or the leaf
+	// certificate if no intermediates exist", §6.3).
+	TreatLeafAsInt1 bool
+}
+
+// EVBehavior is the substitute policy applied when the leaf is EV.
+type EVBehavior struct {
+	CRL           [3]Behavior
+	OCSP          [3]Behavior
+	FallbackToCRL bool
+}
+
+// behaviors returns the applicable tables given the leaf's EV status.
+func (p *Profile) behaviors(leafEV bool) (crlTab, ocspTab [3]Behavior, fallback bool) {
+	if leafEV && p.EV != nil {
+		return p.EV.CRL, p.EV.OCSP, p.EV.FallbackToCRL
+	}
+	return p.CRL, p.OCSP, p.FallbackToCRL
+}
+
+// ChecksAnything reports whether the profile ever fetches revocation
+// information for a non-EV chain — the headline finding for mobile
+// browsers is that none do (§6.4).
+func (p *Profile) ChecksAnything() bool {
+	for i := 0; i < 3; i++ {
+		if p.CRL[i].Check || p.OCSP[i].Check {
+			return true
+		}
+	}
+	return false
+}

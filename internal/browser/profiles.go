@@ -1,0 +1,224 @@
+package browser
+
+// The profiles below encode Table 2 of the paper column by column, using
+// the §6.3/§6.4 narrative to resolve each cell. Cells marked "l/w" in the
+// paper (Linux/Windows only) are represented by splitting that browser
+// into per-OS profiles, as the paper itself does for Chrome.
+
+func checkAllPositions(b Behavior) [3]Behavior { return [3]Behavior{b, b, b} }
+
+// ChromeOSX is Chrome 44 on OS X: no revocation checks for non-EV
+// certificates; for EV it checks the whole chain over both protocols,
+// falls back to CRLs, and hard-fails only when the first intermediate's
+// CRL is unavailable. It requests OCSP staples but does not respect a
+// stapled revoked response.
+func ChromeOSX() *Profile {
+	ev := &EVBehavior{
+		CRL:           checkAllPositions(Behavior{Check: true}),
+		OCSP:          checkAllPositions(Behavior{Check: true}),
+		FallbackToCRL: true,
+	}
+	ev.CRL[PosInt1].RejectUnavailable = true
+	return &Profile{
+		Name: "Chrome 44 (OS X)", Browser: "Chrome 44", OS: "OS X",
+		EV:            ev,
+		RequestStaple: true, UseStaple: true, RespectRevokedStaple: false,
+	}
+}
+
+// ChromeWindows is Chrome 44 on Windows: like OS X, but non-EV chains get
+// the first intermediate's CRL checked (when the certificate lists only a
+// CRL), with a hard failure if that CRL is unavailable; and stapled
+// revoked responses are respected.
+func ChromeWindows() *Profile {
+	p := ChromeOSX()
+	p.Name, p.OS = "Chrome 44 (Windows)", "Windows"
+	p.CRL[PosInt1] = Behavior{Check: true, OnlyIfSoleProtocol: true, RejectUnavailable: true}
+	p.RespectRevokedStaple = true
+	return p
+}
+
+// ChromeLinux is Chrome 44 on Linux: EV-only checking as on OS X. The
+// paper could not measure its unavailability handling (the "–" cells);
+// this profile models the measured subset.
+func ChromeLinux() *Profile {
+	ev := &EVBehavior{
+		CRL:  checkAllPositions(Behavior{Check: true}),
+		OCSP: checkAllPositions(Behavior{Check: true}),
+	}
+	return &Profile{
+		Name: "Chrome 44 (Linux)", Browser: "Chrome 44", OS: "Linux",
+		EV:            ev,
+		RequestStaple: true, UseStaple: true,
+	}
+}
+
+// Firefox40 checks only the leaf's OCSP responder for non-EV chains and
+// every OCSP responder for EV; it never fetches CRLs, never falls back,
+// and soft-fails when the responder is unavailable — but it does
+// correctly reject responses with status unknown.
+func Firefox40() *Profile {
+	p := &Profile{
+		Name: "Firefox 40", Browser: "Firefox 40", OS: "all",
+		RejectUnknown: true,
+		RequestStaple: true, UseStaple: true, RespectRevokedStaple: true,
+	}
+	p.OCSP[PosLeaf] = Behavior{Check: true}
+	p.EV = &EVBehavior{OCSP: checkAllPositions(Behavior{Check: true})}
+	return p
+}
+
+// Opera12 (the pre-Chromium engine) checks every certificate's CRL but
+// only the leaf's OCSP responder, accepts on unavailability, and rejects
+// unknown OCSP statuses.
+func Opera12() *Profile {
+	p := &Profile{
+		Name: "Opera 12.17", Browser: "Opera 12.17", OS: "all",
+		RejectUnknown: true,
+		RequestStaple: true, UseStaple: true, RespectRevokedStaple: true,
+	}
+	p.CRL = checkAllPositions(Behavior{Check: true})
+	p.OCSP[PosLeaf] = Behavior{Check: true}
+	return p
+}
+
+// Opera31OSX is the Chromium-based Opera on OS X: full-chain checking
+// over both protocols; hard-fails when the first intermediate's (or
+// bare leaf's) CRL is unavailable; treats unknown as trusted; on OS X it
+// neither falls back to CRLs nor respects stapled revoked responses.
+func Opera31OSX() *Profile {
+	p := &Profile{
+		Name: "Opera 31 (OS X)", Browser: "Opera 31", OS: "OS X",
+		TreatLeafAsInt1: true,
+		RequestStaple:   true, UseStaple: true,
+	}
+	p.CRL = checkAllPositions(Behavior{Check: true})
+	p.OCSP = checkAllPositions(Behavior{Check: true})
+	p.CRL[PosInt1].RejectUnavailable = true
+	return p
+}
+
+// Opera31WinLin is Opera 31 on Windows and Linux, where OCSP
+// unavailability at the first intermediate also hard-fails, CRL fallback
+// works, and stapled revoked responses are respected.
+func Opera31WinLin() *Profile {
+	p := Opera31OSX()
+	p.Name, p.OS = "Opera 31 (Win/Linux)", "Windows/Linux"
+	p.OCSP[PosInt1].RejectUnavailable = true
+	p.FallbackToCRL = true
+	p.RespectRevokedStaple = true
+	return p
+}
+
+// Safari6to8 checks the whole chain over both protocols and falls back
+// from OCSP to CRLs, but hard-fails only when the first element's CRL is
+// unavailable; it treats unknown as trusted and does not request staples.
+func Safari6to8() *Profile {
+	p := &Profile{
+		Name: "Safari 6-8", Browser: "Safari 6-8", OS: "OS X",
+		FallbackToCRL:   true,
+		TreatLeafAsInt1: true,
+	}
+	p.CRL = checkAllPositions(Behavior{Check: true})
+	p.OCSP = checkAllPositions(Behavior{Check: true})
+	p.CRL[PosInt1].RejectUnavailable = true
+	return p
+}
+
+// IE7to9 checks everything over both protocols with CRL fallback and
+// hard-fails when the first intermediate's revocation information is
+// unavailable; leaf unavailability is silently accepted.
+func IE7to9() *Profile {
+	p := &Profile{
+		Name: "IE 7-9", Browser: "IE 7-9", OS: "Windows",
+		FallbackToCRL:   true,
+		TreatLeafAsInt1: true,
+		RequestStaple:   true, UseStaple: true, RespectRevokedStaple: true,
+	}
+	p.CRL = checkAllPositions(Behavior{Check: true})
+	p.OCSP = checkAllPositions(Behavior{Check: true})
+	p.CRL[PosInt1].RejectUnavailable = true
+	p.OCSP[PosInt1].RejectUnavailable = true
+	return p
+}
+
+// IE10 behaves like IE 7-9 but pops a user warning when the leaf's
+// revocation information is unavailable.
+func IE10() *Profile {
+	p := IE7to9()
+	p.Name, p.Browser = "IE 10", "IE 10"
+	p.CRL[PosLeaf].WarnUnavailable = true
+	p.OCSP[PosLeaf].WarnUnavailable = true
+	return p
+}
+
+// IE11 behaves like IE 7-9 but correctly rejects when the leaf's
+// revocation information is unavailable.
+func IE11() *Profile {
+	p := IE7to9()
+	p.Name, p.Browser = "IE 11", "IE 11"
+	p.CRL[PosLeaf].RejectUnavailable = true
+	p.OCSP[PosLeaf].RejectUnavailable = true
+	return p
+}
+
+// MobileSafari (iOS 6-8) performs no revocation checking at all and does
+// not request staples.
+func MobileSafari() *Profile {
+	return &Profile{Name: "iOS 6-8", Browser: "Mobile Safari", OS: "iOS", Mobile: true}
+}
+
+// AndroidStock (the AOSP Browser on Android 4.1-5.1) performs no checks;
+// it requests OCSP staples but ignores the responses — even a stapled
+// revoked response is accepted.
+func AndroidStock() *Profile {
+	return &Profile{
+		Name: "Android Stock", Browser: "Android Browser", OS: "Android", Mobile: true,
+		RequestStaple: true, UseStaple: false,
+	}
+}
+
+// AndroidChrome behaves like the stock browser: staples requested,
+// responses ignored, nothing checked.
+func AndroidChrome() *Profile {
+	p := AndroidStock()
+	p.Name, p.Browser = "Android Chrome", "Chrome (Android)"
+	return p
+}
+
+// IEMobile8 (Windows Phone 8.0) performs no checks and does not request
+// staples.
+func IEMobile8() *Profile {
+	return &Profile{Name: "IE Mobile 8.0", Browser: "IE Mobile", OS: "Windows Phone", Mobile: true}
+}
+
+// Hardened is the maximally safe client §2.3 argues for: every chain
+// element checked over every available protocol, hard failure whenever
+// revocation information is unavailable or unknown, CRL fallback, and
+// full staple support. No shipping browser implements it.
+func Hardened() *Profile {
+	p := &Profile{
+		Name: "Hardened", Browser: "Hardened reference", OS: "all",
+		RejectUnknown:   true,
+		FallbackToCRL:   true,
+		TreatLeafAsInt1: true,
+		RequestStaple:   true, UseStaple: true, RespectRevokedStaple: true,
+	}
+	all := Behavior{Check: true, RejectUnavailable: true}
+	p.CRL = checkAllPositions(all)
+	p.OCSP = checkAllPositions(all)
+	return p
+}
+
+// All returns the Table 2 columns in paper order (desktop left to right,
+// then mobile).
+func All() []*Profile {
+	return []*Profile{
+		ChromeOSX(), ChromeWindows(), ChromeLinux(),
+		Firefox40(),
+		Opera12(), Opera31OSX(), Opera31WinLin(),
+		Safari6to8(),
+		IE7to9(), IE10(), IE11(),
+		MobileSafari(), AndroidStock(), AndroidChrome(), IEMobile8(),
+	}
+}

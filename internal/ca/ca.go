@@ -1,0 +1,574 @@
+// Package ca implements a certificate authority: issuance (domain- and
+// extended-validation), revocation with reason codes, sharded CRL
+// generation, an OCSP source, and HTTP distribution of both — the full
+// server side of the revocation ecosystem the paper measures.
+//
+// Issuance comes in two speeds. Issue produces a real, signed DER
+// certificate (used by the live TLS and browser-test paths). IssueRecord
+// produces only the CA's book-keeping record — serial, validity, shard,
+// revocation-pointer flags — without any public-key cryptography, which is
+// what lets the simulated ecosystem carry hundreds of thousands of
+// certificates. Both kinds share the same revocation machinery, and the
+// CRLs and OCSP responses generated for them are real DER, so every
+// downstream consumer (crawler, browser engine, CRLSet generator) runs on
+// genuine wire formats.
+package ca
+
+import (
+	"crypto/ecdsa"
+	"fmt"
+	"math"
+	"math/big"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/crl"
+	"repro/internal/ocsp"
+	"repro/internal/x509x"
+)
+
+// Config describes a CA's policies.
+type Config struct {
+	// Name is the CA's display name ("GoDaddy").
+	Name string
+	// Subject is the issuing certificate's distinguished name; derived
+	// from Name when zero.
+	Subject x509x.Name
+	// NumCRLShards is how many CRLs the CA maintains; issued
+	// certificates are assigned round-robin. CAs use few, large CRLs in
+	// practice (Table 1: GoDaddy 322, RapidSSL 5); 1 when zero.
+	NumCRLShards int
+	// SerialBytes is the length of randomly generated serial numbers.
+	// Serial-number policy drives CRL entry size (§5.2, Figure 5): some
+	// CAs use serials of up to 49 decimal digits (~21 bytes). 8 when
+	// zero.
+	SerialBytes int
+	// CRLValidity is the CRL nextUpdate - thisUpdate window. 95% of
+	// CRLs expire in less than 24 hours (§5.2); 24h when zero.
+	CRLValidity time.Duration
+	// OCSPValidity is the OCSP-response window, typically days (§2.2).
+	// 96h when zero.
+	OCSPValidity time.Duration
+	// CRLBaseURL and OCSPBaseURL are the distribution endpoints placed
+	// into issued certificates; shard i is served at
+	// <CRLBaseURL>/<i>.crl.
+	CRLBaseURL  string
+	OCSPBaseURL string
+	// IncludeCRLDP / IncludeOCSP control whether newly issued
+	// certificates carry the corresponding pointers. Figure 4 tracks CA
+	// adoption of these over time; they can be toggled mid-simulation.
+	IncludeCRLDP bool
+	IncludeOCSP  bool
+	// ShardSkew, when positive, assigns certificates to CRL shards with
+	// Zipf-like weights (shard i gets weight 1/(i+1)^ShardSkew) instead
+	// of round-robin. Real CAs concentrate most certificates on a few
+	// large CRLs, which is why the certificate-weighted CRL-size
+	// distribution is so much heavier than the raw one (§5.2, Figure 6).
+	ShardSkew float64
+	// DropExpiredFromCRL removes entries for expired certificates from
+	// freshly generated CRLs, as real CAs do.
+	DropExpiredFromCRL bool
+	// DelegatedOCSP, when set, has the CA issue a dedicated
+	// OCSP-signing certificate (id-kp-OCSPSigning EKU, RFC 6960
+	// §4.2.2.2) and sign responses with it instead of the CA key.
+	DelegatedOCSP bool
+	// Clock supplies the current (virtual) time; time.Now when nil.
+	Clock func() time.Time
+	// Seed makes serial-number generation deterministic.
+	Seed int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Subject.IsZero() {
+		c.Subject = x509x.Name{CommonName: c.Name + " CA", Organization: c.Name}
+	}
+	if c.NumCRLShards <= 0 {
+		c.NumCRLShards = 1
+	}
+	if c.SerialBytes <= 0 {
+		c.SerialBytes = 8
+	}
+	if c.CRLValidity <= 0 {
+		c.CRLValidity = 24 * time.Hour
+	}
+	if c.OCSPValidity <= 0 {
+		c.OCSPValidity = 96 * time.Hour
+	}
+}
+
+// Record is the CA's book-keeping entry for one issued certificate.
+type Record struct {
+	CAName     string
+	Serial     *big.Int
+	CommonName string
+	NotBefore  time.Time
+	NotAfter   time.Time
+	EV         bool
+	Shard      int
+	HasCRLDP   bool
+	HasOCSP    bool
+	CRLURL     string // empty when HasCRLDP is false
+	OCSPURL    string // empty when HasOCSP is false
+	IssuedAt   time.Time
+}
+
+// FreshAt reports whether t is inside the record's validity window.
+func (r *Record) FreshAt(t time.Time) bool {
+	return !t.Before(r.NotBefore) && !t.After(r.NotAfter)
+}
+
+// Revocation describes one revoked certificate.
+type Revocation struct {
+	Serial *big.Int
+	At     time.Time
+	Reason crl.Reason
+	// Record is the revoked certificate's issuance record.
+	Record *Record
+}
+
+// CA is a certificate authority.
+type CA struct {
+	cfg  Config
+	cert *x509x.Certificate
+	key  *ecdsa.PrivateKey
+
+	mu             sync.Mutex
+	rng            *rand.Rand
+	issued         map[string]*Record
+	issuedSeq      []*Record
+	revoked        map[string]*Revocation
+	revokedSeq     []*Revocation
+	revokedByShard map[int][]*Revocation
+	nextShard      int
+	crlNumber      int64
+	shardWeights   []float64 // cumulative, when ShardSkew > 0
+
+	// delegate is the lazily issued OCSP-signing certificate.
+	delegate    *x509x.Certificate
+	delegateKey *ecdsa.PrivateKey
+}
+
+func serialKey(serial *big.Int) string { return string(serial.Bytes()) }
+
+// NewRoot creates a self-signed root CA.
+func NewRoot(cfg Config) (*CA, error) {
+	return newCA(cfg, nil)
+}
+
+// NewIntermediate creates a CA whose certificate is signed by parent.
+func NewIntermediate(cfg Config, parent *CA) (*CA, error) {
+	if parent == nil {
+		return nil, fmt.Errorf("ca: intermediate %q needs a parent", cfg.Name)
+	}
+	return newCA(cfg, parent)
+}
+
+func newCA(cfg Config, parent *CA) (*CA, error) {
+	cfg.fillDefaults()
+	key, err := x509x.GenerateKey()
+	if err != nil {
+		return nil, fmt.Errorf("ca: keygen: %v", err)
+	}
+	now := time.Now()
+	if cfg.Clock != nil {
+		now = cfg.Clock()
+	}
+	notBefore, notAfter := now.AddDate(-1, 0, 0), now.AddDate(15, 0, 0)
+	tmpl := x509x.NewTemplate(big.NewInt(1), cfg.Subject, notBefore, notAfter)
+	tmpl.IsCA = true
+	tmpl.KeyUsage = x509x.KeyUsageCertSign | x509x.KeyUsageCRLSign | x509x.KeyUsageDigitalSignature
+	var raw []byte
+	if parent == nil {
+		raw, err = x509x.Create(tmpl, nil, key, &key.PublicKey)
+	} else {
+		// The intermediate is a certificate the parent issued: register
+		// it in the parent's book so the parent's CRLs and OCSP
+		// responder are authoritative for it, and point its revocation
+		// extensions at the parent's endpoints.
+		rec := parent.IssueRecord(IssueOptions{
+			CommonName: cfg.Subject.CommonName,
+			NotBefore:  notBefore,
+			NotAfter:   notAfter,
+		})
+		tmpl.SerialNumber = rec.Serial
+		if rec.HasCRLDP {
+			tmpl.CRLDistributionPoints = []string{rec.CRLURL}
+		}
+		if rec.HasOCSP {
+			tmpl.OCSPServers = []string{rec.OCSPURL}
+		}
+		raw, err = x509x.Create(tmpl, parent.cert, parent.key, &key.PublicKey)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ca: creating CA certificate: %v", err)
+	}
+	cert, err := x509x.Parse(raw)
+	if err != nil {
+		return nil, err
+	}
+	authority := &CA{
+		cfg:            cfg,
+		cert:           cert,
+		key:            key,
+		rng:            rand.New(rand.NewSource(cfg.Seed ^ int64(len(cfg.Name)))),
+		issued:         make(map[string]*Record),
+		revoked:        make(map[string]*Revocation),
+		revokedByShard: make(map[int][]*Revocation),
+	}
+	if cfg.ShardSkew > 0 && cfg.NumCRLShards > 1 {
+		weights := make([]float64, cfg.NumCRLShards)
+		var total float64
+		for i := range weights {
+			total += 1 / math.Pow(float64(i+1), cfg.ShardSkew)
+			weights[i] = total
+		}
+		for i := range weights {
+			weights[i] /= total
+		}
+		authority.shardWeights = weights
+	}
+	return authority, nil
+}
+
+// pickShardLocked selects the shard for a new certificate: weighted random
+// when ShardSkew is configured, round-robin otherwise.
+func (ca *CA) pickShardLocked() int {
+	if ca.shardWeights == nil {
+		s := ca.nextShard
+		ca.nextShard = (ca.nextShard + 1) % ca.cfg.NumCRLShards
+		return s
+	}
+	r := ca.rng.Float64()
+	for i, w := range ca.shardWeights {
+		if r <= w {
+			return i
+		}
+	}
+	return len(ca.shardWeights) - 1
+}
+
+// Certificate returns the CA's own certificate.
+func (ca *CA) Certificate() *x509x.Certificate { return ca.cert }
+
+// Signer returns the CA's certificate and private key, for callers that
+// need to countersign (e.g. delegated test-suite servers).
+func (ca *CA) Signer() (*x509x.Certificate, *ecdsa.PrivateKey) { return ca.cert, ca.key }
+
+// Name returns the CA's display name.
+func (ca *CA) Name() string { return ca.cfg.Name }
+
+// NumShards returns the number of CRL shards.
+func (ca *CA) NumShards() int { return ca.cfg.NumCRLShards }
+
+// CRLURL returns the distribution-point URL of shard i.
+func (ca *CA) CRLURL(shard int) string {
+	return fmt.Sprintf("%s/%d.crl", ca.cfg.CRLBaseURL, shard)
+}
+
+// OCSPURL returns the OCSP responder URL.
+func (ca *CA) OCSPURL() string { return ca.cfg.OCSPBaseURL }
+
+func (ca *CA) now() time.Time {
+	if ca.cfg.Clock != nil {
+		return ca.cfg.Clock()
+	}
+	return time.Now()
+}
+
+// IssueOptions describes a certificate to issue.
+type IssueOptions struct {
+	CommonName string
+	DNSNames   []string
+	NotBefore  time.Time
+	NotAfter   time.Time
+	// EV marks the certificate with the EV policy OID.
+	EV bool
+	// OmitCRLDP / OmitOCSP suppress the respective pointer even when the
+	// CA's policy would include it (0.09% of leaf certificates carry
+	// neither and can never be revoked, §3.2).
+	OmitCRLDP bool
+	OmitOCSP  bool
+	// PublicKey is the subject key for full issuance. Shared keys are
+	// fine for simulation purposes (key material does not affect any
+	// revocation statistic).
+	PublicKey *ecdsa.PublicKey
+}
+
+// IssueRecord registers a new certificate without building DER — the fast
+// path for large simulated populations.
+func (ca *CA) IssueRecord(opts IssueOptions) *Record {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	return ca.issueRecordLocked(opts)
+}
+
+func (ca *CA) issueRecordLocked(opts IssueOptions) *Record {
+	serial := ca.newSerialLocked()
+	rec := &Record{
+		CAName:     ca.cfg.Name,
+		Serial:     serial,
+		CommonName: opts.CommonName,
+		NotBefore:  opts.NotBefore,
+		NotAfter:   opts.NotAfter,
+		EV:         opts.EV,
+		Shard:      ca.pickShardLocked(),
+		HasCRLDP:   ca.cfg.IncludeCRLDP && !opts.OmitCRLDP && ca.cfg.CRLBaseURL != "",
+		HasOCSP:    ca.cfg.IncludeOCSP && !opts.OmitOCSP && ca.cfg.OCSPBaseURL != "",
+		IssuedAt:   ca.now(),
+	}
+	if rec.HasCRLDP {
+		rec.CRLURL = ca.CRLURL(rec.Shard)
+	}
+	if rec.HasOCSP {
+		rec.OCSPURL = ca.cfg.OCSPBaseURL
+	}
+	ca.issued[serialKey(serial)] = rec
+	ca.issuedSeq = append(ca.issuedSeq, rec)
+	return rec
+}
+
+func (ca *CA) newSerialLocked() *big.Int {
+	for {
+		b := make([]byte, ca.cfg.SerialBytes)
+		ca.rng.Read(b)
+		b[0] &= 0x7f // keep positive
+		b[0] |= 0x40 // keep full length so entry sizes are uniform per CA
+		serial := new(big.Int).SetBytes(b)
+		if _, dup := ca.issued[serialKey(serial)]; !dup {
+			return serial
+		}
+	}
+}
+
+// Issue registers and signs a real certificate.
+func (ca *CA) Issue(opts IssueOptions) (*x509x.Certificate, *Record, error) {
+	pub := opts.PublicKey
+	if pub == nil {
+		key, err := x509x.GenerateKey()
+		if err != nil {
+			return nil, nil, err
+		}
+		pub = &key.PublicKey
+	}
+	ca.mu.Lock()
+	rec := ca.issueRecordLocked(opts)
+	ca.mu.Unlock()
+
+	tmpl := x509x.NewTemplate(rec.Serial, x509x.Name{CommonName: opts.CommonName}, opts.NotBefore, opts.NotAfter)
+	tmpl.KeyUsage = x509x.KeyUsageDigitalSignature | x509x.KeyUsageKeyEncipherment
+	tmpl.ExtKeyUsage = []x509x.OID{x509x.OIDEKUServerAuth}
+	tmpl.DNSNames = opts.DNSNames
+	if rec.HasCRLDP {
+		tmpl.CRLDistributionPoints = []string{rec.CRLURL}
+	}
+	if rec.HasOCSP {
+		tmpl.OCSPServers = []string{rec.OCSPURL}
+	}
+	if opts.EV {
+		tmpl.PolicyOIDs = []x509x.OID{x509x.OIDPolicyVerisignEV}
+	}
+	raw, err := x509x.Create(tmpl, ca.cert, ca.key, pub)
+	if err != nil {
+		return nil, nil, err
+	}
+	cert, err := x509x.Parse(raw)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cert, rec, nil
+}
+
+// Revoke marks the certificate with the given serial revoked at time at.
+// Revoking an unknown or already-revoked serial is an error.
+func (ca *CA) Revoke(serial *big.Int, at time.Time, reason crl.Reason) error {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	key := serialKey(serial)
+	rec, ok := ca.issued[key]
+	if !ok {
+		return fmt.Errorf("ca %s: revoke: unknown serial %v", ca.cfg.Name, serial)
+	}
+	if _, dup := ca.revoked[key]; dup {
+		return fmt.Errorf("ca %s: serial %v already revoked", ca.cfg.Name, serial)
+	}
+	rev := &Revocation{Serial: new(big.Int).Set(serial), At: at, Reason: reason, Record: rec}
+	ca.revoked[key] = rev
+	ca.revokedSeq = append(ca.revokedSeq, rev)
+	ca.revokedByShard[rec.Shard] = append(ca.revokedByShard[rec.Shard], rev)
+	return nil
+}
+
+// IsRevoked reports whether serial has been revoked, and when.
+func (ca *CA) IsRevoked(serial *big.Int) (*Revocation, bool) {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	rev, ok := ca.revoked[serialKey(serial)]
+	return rev, ok
+}
+
+// Issued returns the number of certificates issued.
+func (ca *CA) Issued() int {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	return len(ca.issuedSeq)
+}
+
+// Revocations returns all revocations in revocation order. The returned
+// slice is a copy; the *Revocation values are shared.
+func (ca *CA) Revocations() []*Revocation {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	out := make([]*Revocation, len(ca.revokedSeq))
+	copy(out, ca.revokedSeq)
+	return out
+}
+
+// Records returns all issuance records in issuance order (copied slice,
+// shared records).
+func (ca *CA) Records() []*Record {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	out := make([]*Record, len(ca.issuedSeq))
+	copy(out, ca.issuedSeq)
+	return out
+}
+
+// ShardPopulation returns how many issued certificates are assigned to
+// each shard.
+func (ca *CA) ShardPopulation() []int {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	pop := make([]int, ca.cfg.NumCRLShards)
+	for _, rec := range ca.issuedSeq {
+		pop[rec.Shard]++
+	}
+	return pop
+}
+
+// CRLEntries returns the entries that belong on shard's CRL at time now.
+func (ca *CA) CRLEntries(shard int, now time.Time) []crl.Entry {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	var entries []crl.Entry
+	for _, rev := range ca.revokedByShard[shard] {
+		if rev.At.After(now) {
+			continue // not yet revoked in simulated time
+		}
+		if ca.cfg.DropExpiredFromCRL && rev.Record.NotAfter.Before(now) {
+			continue
+		}
+		entries = append(entries, crl.Entry{Serial: rev.Serial, RevokedAt: rev.At, Reason: rev.Reason})
+	}
+	return entries
+}
+
+// CRLBytes builds and signs the current CRL for shard.
+func (ca *CA) CRLBytes(shard int) ([]byte, error) {
+	if shard < 0 || shard >= ca.cfg.NumCRLShards {
+		return nil, fmt.Errorf("ca %s: no CRL shard %d", ca.cfg.Name, shard)
+	}
+	now := ca.now()
+	entries := ca.CRLEntries(shard, now)
+	ca.mu.Lock()
+	ca.crlNumber++
+	number := ca.crlNumber
+	ca.mu.Unlock()
+	return crl.Create(&crl.Template{
+		ThisUpdate: now,
+		NextUpdate: now.Add(ca.cfg.CRLValidity),
+		Number:     big.NewInt(number),
+		Entries:    entries,
+	}, ca.cert, ca.key)
+}
+
+// OCSPSource returns an ocsp.Source answering for this CA's certificates.
+func (ca *CA) OCSPSource() ocsp.Source {
+	caID := ocsp.NewCertID(ca.cert, big.NewInt(1))
+	return ocsp.SourceFunc(func(id ocsp.CertID) ocsp.SingleResponse {
+		// A responder must answer unknown for certificates it is not
+		// authoritative for.
+		probe := ocsp.CertID{
+			IssuerNameHash: caID.IssuerNameHash,
+			IssuerKeyHash:  caID.IssuerKeyHash,
+			Serial:         id.Serial,
+		}
+		if !probe.Equal(id) {
+			return ocsp.SingleResponse{Status: ocsp.StatusUnknown}
+		}
+		ca.mu.Lock()
+		defer ca.mu.Unlock()
+		now := ca.now()
+		key := serialKey(id.Serial)
+		if rev, ok := ca.revoked[key]; ok && !rev.At.After(now) {
+			return ocsp.SingleResponse{
+				Status:    ocsp.StatusRevoked,
+				RevokedAt: rev.At,
+				Reason:    rev.Reason,
+			}
+		}
+		if _, ok := ca.issued[key]; ok {
+			return ocsp.SingleResponse{Status: ocsp.StatusGood}
+		}
+		return ocsp.SingleResponse{Status: ocsp.StatusUnknown}
+	})
+}
+
+// Responder returns an HTTP OCSP responder for this CA, signing with a
+// delegated responder certificate when DelegatedOCSP is configured.
+func (ca *CA) Responder() *ocsp.Responder {
+	signer, key := ca.cert, ca.key
+	if ca.cfg.DelegatedOCSP {
+		if delegate, delegateKey, err := ca.ocspDelegate(); err == nil {
+			signer, key = delegate, delegateKey
+		}
+	}
+	return &ocsp.Responder{
+		Source:   ca.OCSPSource(),
+		Signer:   signer,
+		Key:      key,
+		Now:      ca.now,
+		Validity: ca.cfg.OCSPValidity,
+	}
+}
+
+// ocspDelegate lazily issues (once) the CA's delegated OCSP-signing
+// certificate.
+func (ca *CA) ocspDelegate() (*x509x.Certificate, *ecdsa.PrivateKey, error) {
+	ca.mu.Lock()
+	if ca.delegate != nil {
+		cert, key := ca.delegate, ca.delegateKey
+		ca.mu.Unlock()
+		return cert, key, nil
+	}
+	ca.mu.Unlock()
+
+	key, err := x509x.GenerateKey()
+	if err != nil {
+		return nil, nil, err
+	}
+	ca.mu.Lock()
+	rec := ca.issueRecordLocked(IssueOptions{
+		CommonName: ca.cfg.Name + " OCSP Responder",
+		NotBefore:  ca.now().AddDate(0, -1, 0),
+		NotAfter:   ca.now().AddDate(2, 0, 0),
+		OmitCRLDP:  true,
+		OmitOCSP:   true,
+	})
+	ca.mu.Unlock()
+	tmpl := x509x.NewTemplate(rec.Serial, x509x.Name{CommonName: rec.CommonName}, rec.NotBefore, rec.NotAfter)
+	tmpl.KeyUsage = x509x.KeyUsageDigitalSignature
+	tmpl.ExtKeyUsage = []x509x.OID{x509x.OIDEKUOCSPSigning}
+	raw, err := x509x.Create(tmpl, ca.cert, ca.key, &key.PublicKey)
+	if err != nil {
+		return nil, nil, err
+	}
+	cert, err := x509x.Parse(raw)
+	if err != nil {
+		return nil, nil, err
+	}
+	ca.mu.Lock()
+	ca.delegate, ca.delegateKey = cert, key
+	ca.mu.Unlock()
+	return cert, key, nil
+}

@@ -1,0 +1,80 @@
+package ca
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Handler returns an http.Handler exposing the CA's distribution services:
+//
+//	GET /crl/<shard>.crl  — the shard's current CRL (DER)
+//	ANY /ocsp/...         — the OCSP responder (GET and POST)
+//
+// CRLs are regenerated when the cached copy expires relative to the CA's
+// clock, mimicking a CA that re-signs its CRLs on each validity period
+// even when nothing changed (§2.2).
+func (ca *CA) Handler() http.Handler {
+	mux := http.NewServeMux()
+	cache := &crlCache{ca: ca}
+	mux.HandleFunc("/crl/", func(w http.ResponseWriter, r *http.Request) {
+		name := strings.TrimPrefix(r.URL.Path, "/crl/")
+		shardStr, ok := strings.CutSuffix(name, ".crl")
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		shard, err := strconv.Atoi(shardStr)
+		if err != nil || shard < 0 || shard >= ca.cfg.NumCRLShards {
+			http.NotFound(w, r)
+			return
+		}
+		body, err := cache.get(shard)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/pkix-crl")
+		w.Header().Set("Content-Length", fmt.Sprint(len(body)))
+		w.Write(body)
+	})
+	responder := ca.Responder()
+	mux.Handle("/ocsp/", http.StripPrefix("/ocsp", responder))
+	mux.Handle("/ocsp", responder)
+	return mux
+}
+
+// crlCache caches generated CRLs until their validity window lapses.
+type crlCache struct {
+	ca *CA
+	mu sync.Mutex
+	// entries[shard] holds the cached bytes and their regeneration
+	// deadline.
+	entries map[int]crlCacheEntry
+}
+
+type crlCacheEntry struct {
+	body    []byte
+	expires time.Time
+}
+
+func (c *crlCache) get(shard int) ([]byte, error) {
+	now := c.ca.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries == nil {
+		c.entries = make(map[int]crlCacheEntry)
+	}
+	if e, ok := c.entries[shard]; ok && now.Before(e.expires) {
+		return e.body, nil
+	}
+	body, err := c.ca.CRLBytes(shard)
+	if err != nil {
+		return nil, err
+	}
+	c.entries[shard] = crlCacheEntry{body: body, expires: now.Add(c.ca.cfg.CRLValidity)}
+	return body, nil
+}

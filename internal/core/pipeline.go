@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+// Pipeline is the measurement-study facade: build the simulated ecosystem,
+// replay the scan and crawl calendars, and expose the experiment runners —
+// the scan→crawl→analyse loop of §3 behind one call.
+type Pipeline struct {
+	// Runner exposes every per-figure/table experiment.
+	Runner *experiments.Runner
+	// Elapsed is the wall-clock cost of building and running the world.
+	Elapsed time.Duration
+}
+
+// PipelineConfig parameterizes a study run.
+type PipelineConfig struct {
+	// Scale is the population scale relative to the real internet
+	// (default 0.01 — the reference experiment scale).
+	Scale float64
+	// Seed drives all randomness; identical seeds reproduce identical
+	// studies byte for byte.
+	Seed int64
+}
+
+// RunStudy executes the full measurement study and returns its pipeline.
+func RunStudy(cfg PipelineConfig) (*Pipeline, error) {
+	wcfg := workload.DefaultConfig()
+	if cfg.Scale > 0 {
+		wcfg.Scale = cfg.Scale
+	}
+	if cfg.Seed != 0 {
+		wcfg.Seed = cfg.Seed
+	}
+	start := time.Now()
+	runner, err := experiments.New(wcfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: study: %w", err)
+	}
+	return &Pipeline{Runner: runner, Elapsed: time.Since(start)}, nil
+}
+
+// Results runs every experiment and returns them in paper order.
+func (p *Pipeline) Results() ([]*experiments.Result, error) {
+	return p.Runner.All()
+}
+
+// World exposes the underlying simulated ecosystem for custom analyses.
+func (p *Pipeline) World() *workload.World { return p.Runner.World }

@@ -1,0 +1,214 @@
+// Package corpus stores what the scans observed: for every certificate,
+// the scans at which it was advertised and by how many hosts. From those
+// observations it derives the paper's two per-certificate timelines (§3.3,
+// Figure 1):
+//
+//   - fresh:  the validity window [NotBefore, NotAfter]
+//   - alive:  from the first scan that saw the certificate (birth) to the
+//     last scan that saw it (death)
+//
+// Both timelines deliberately ignore revocation — clients that skip
+// revocation checks will accept a revoked-but-fresh certificate, which is
+// exactly the exposure Figure 2 quantifies.
+package corpus
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/ca"
+)
+
+// Sighting records one scan's view of a certificate.
+type Sighting struct {
+	Scan time.Time
+	// Hosts is how many addresses advertised the certificate.
+	Hosts int
+	// StapledHosts is how many of those presented an OCSP staple.
+	StapledHosts int
+}
+
+// History is the observed lifetime of one certificate.
+type History struct {
+	Record    *ca.Record
+	Sightings []Sighting
+}
+
+// Birth returns the first scan at which the certificate was seen.
+func (h *History) Birth() time.Time { return h.Sightings[0].Scan }
+
+// Death returns the last scan at which the certificate was seen.
+func (h *History) Death() time.Time { return h.Sightings[len(h.Sightings)-1].Scan }
+
+// AliveAt reports whether t falls inside [Birth, Death]. A certificate
+// missed by one scan but seen again later is still alive in between.
+func (h *History) AliveAt(t time.Time) bool {
+	return !t.Before(h.Birth()) && !t.After(h.Death())
+}
+
+// FreshAt reports whether t falls inside the validity window.
+func (h *History) FreshAt(t time.Time) bool { return h.Record.FreshAt(t) }
+
+// AdvertisedAfterExpiry reports whether the certificate was still being
+// served after NotAfter — the "atypical certificate" of Figure 1.
+func (h *History) AdvertisedAfterExpiry() bool {
+	return h.Death().After(h.Record.NotAfter)
+}
+
+// Corpus accumulates scan results.
+type Corpus struct {
+	mu        sync.Mutex
+	histories map[*ca.Record]*History
+	order     []*History
+	scans     []time.Time
+}
+
+// New returns an empty corpus.
+func New() *Corpus {
+	return &Corpus{histories: make(map[*ca.Record]*History)}
+}
+
+// Advertisement is one certificate's appearance in a single scan.
+type Advertisement struct {
+	Record       *ca.Record
+	Hosts        int
+	StapledHosts int
+}
+
+// RecordScan ingests one full scan. Scans must be ingested in
+// chronological order.
+func (c *Corpus) RecordScan(at time.Time, ads []Advertisement) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n := len(c.scans); n > 0 && at.Before(c.scans[n-1]) {
+		panic("corpus: scans must be ingested in order")
+	}
+	c.scans = append(c.scans, at)
+	for _, ad := range ads {
+		h := c.histories[ad.Record]
+		if h == nil {
+			h = &History{Record: ad.Record}
+			c.histories[ad.Record] = h
+			c.order = append(c.order, h)
+		}
+		h.Sightings = append(h.Sightings, Sighting{Scan: at, Hosts: ad.Hosts, StapledHosts: ad.StapledHosts})
+	}
+}
+
+// NumScans returns how many scans have been ingested.
+func (c *Corpus) NumScans() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.scans)
+}
+
+// Scans returns the ingested scan times.
+func (c *Corpus) Scans() []time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]time.Time, len(c.scans))
+	copy(out, c.scans)
+	return out
+}
+
+// Size returns the number of distinct certificates ever observed.
+func (c *Corpus) Size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.order)
+}
+
+// Histories returns every certificate history in first-seen order.
+func (c *Corpus) Histories() []*History {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*History, len(c.order))
+	copy(out, c.order)
+	return out
+}
+
+// History returns the history for rec, if observed.
+func (c *Corpus) History(rec *ca.Record) (*History, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, ok := c.histories[rec]
+	return h, ok
+}
+
+// Population is a snapshot count at one instant.
+type Population struct {
+	Fresh   int // certificates inside their validity window
+	Alive   int // certificates inside their advertised lifetime
+	FreshEV int
+	AliveEV int
+}
+
+// PopulationAt counts fresh and alive certificates at t.
+func (c *Corpus) PopulationAt(t time.Time) Population {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var p Population
+	for _, h := range c.order {
+		fresh := h.Record.FreshAt(t)
+		alive := h.AliveAt(t)
+		if fresh {
+			p.Fresh++
+			if h.Record.EV {
+				p.FreshEV++
+			}
+		}
+		if alive {
+			p.Alive++
+			if h.Record.EV {
+				p.AliveEV++
+			}
+		}
+	}
+	return p
+}
+
+// AdvertisedAt returns the histories of certificates alive at t.
+func (c *Corpus) AdvertisedAt(t time.Time) []*History {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*History
+	for _, h := range c.order {
+		if h.AliveAt(t) {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// LastScanAdvertisements returns the sightings belonging to the most
+// recent scan — "still being advertised in the latest port 443 scan"
+// (§3.1).
+func (c *Corpus) LastScanAdvertisements() []*History {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.scans) == 0 {
+		return nil
+	}
+	last := c.scans[len(c.scans)-1]
+	var out []*History
+	for _, h := range c.order {
+		if h.Death().Equal(last) {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// Lifetimes returns, for each certificate, the advertised lifetime in
+// days, sorted ascending — input for lifetime CDFs.
+func (c *Corpus) Lifetimes() []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]float64, 0, len(c.order))
+	for _, h := range c.order {
+		out = append(out, h.Death().Sub(h.Birth()).Hours()/24)
+	}
+	sort.Float64s(out)
+	return out
+}

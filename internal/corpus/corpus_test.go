@@ -1,0 +1,137 @@
+package corpus
+
+import (
+	"math/big"
+	"testing"
+	"time"
+
+	"repro/internal/ca"
+	"repro/internal/simtime"
+)
+
+func rec(serial int64, notBefore, notAfter time.Time, ev bool) *ca.Record {
+	return &ca.Record{
+		CAName:    "T",
+		Serial:    big.NewInt(serial),
+		NotBefore: notBefore,
+		NotAfter:  notAfter,
+		EV:        ev,
+	}
+}
+
+func day(n int) time.Time {
+	return simtime.Date(2014, time.January, 1).AddDate(0, 0, n)
+}
+
+func TestLifetimesAndTimelines(t *testing.T) {
+	c := New()
+	r1 := rec(1, day(0), day(100), false) // seen scans 0..3
+	r2 := rec(2, day(0), day(10), false)  // expired but still advertised later
+	c.RecordScan(day(0), []Advertisement{{Record: r1, Hosts: 3}, {Record: r2, Hosts: 1}})
+	c.RecordScan(day(7), []Advertisement{{Record: r1, Hosts: 2}})
+	c.RecordScan(day(14), []Advertisement{{Record: r1, Hosts: 2}, {Record: r2, Hosts: 1}})
+	c.RecordScan(day(21), []Advertisement{{Record: r1, Hosts: 1}})
+
+	if c.NumScans() != 4 || c.Size() != 2 {
+		t.Fatalf("scans=%d size=%d", c.NumScans(), c.Size())
+	}
+	h1, ok := c.History(r1)
+	if !ok {
+		t.Fatal("missing history")
+	}
+	if !h1.Birth().Equal(day(0)) || !h1.Death().Equal(day(21)) {
+		t.Errorf("h1 lifetime [%v, %v]", h1.Birth(), h1.Death())
+	}
+	h2, _ := c.History(r2)
+	if !h2.Death().Equal(day(14)) {
+		t.Errorf("h2 death %v", h2.Death())
+	}
+	// r2 was missed at day 7 but is still alive there.
+	if !h2.AliveAt(day(7)) {
+		t.Error("gap in sightings should still be alive")
+	}
+	if h2.AliveAt(day(21)) {
+		t.Error("after death should not be alive")
+	}
+	// r2 expired at day 10 but advertised at day 14.
+	if !h2.AdvertisedAfterExpiry() {
+		t.Error("r2 should be the atypical certificate of Figure 1")
+	}
+	if h1.AdvertisedAfterExpiry() {
+		t.Error("r1 is within validity")
+	}
+}
+
+func TestPopulationAt(t *testing.T) {
+	c := New()
+	dv := rec(1, day(0), day(30), false)
+	ev := rec(2, day(0), day(30), true)
+	expired := rec(3, day(-60), day(-30), false)
+	c.RecordScan(day(0), []Advertisement{{Record: dv, Hosts: 1}, {Record: ev, Hosts: 1}, {Record: expired, Hosts: 1}})
+	c.RecordScan(day(7), []Advertisement{{Record: dv, Hosts: 1}, {Record: ev, Hosts: 1}})
+
+	p := c.PopulationAt(day(0))
+	if p.Fresh != 2 || p.Alive != 3 || p.FreshEV != 1 || p.AliveEV != 1 {
+		t.Errorf("population = %+v", p)
+	}
+	// After death of expired cert.
+	p = c.PopulationAt(day(7))
+	if p.Alive != 2 {
+		t.Errorf("alive at day 7 = %d", p.Alive)
+	}
+}
+
+func TestAdvertisedAtAndLastScan(t *testing.T) {
+	c := New()
+	r1 := rec(1, day(0), day(100), false)
+	r2 := rec(2, day(0), day(100), false)
+	c.RecordScan(day(0), []Advertisement{{Record: r1, Hosts: 1}, {Record: r2, Hosts: 1}})
+	c.RecordScan(day(7), []Advertisement{{Record: r1, Hosts: 1}})
+
+	if got := len(c.AdvertisedAt(day(0))); got != 2 {
+		t.Errorf("advertised at first scan = %d", got)
+	}
+	// r2's alive window is the single instant day(0); only r1 spans day 3.
+	if got := len(c.AdvertisedAt(day(3))); got != 1 {
+		t.Errorf("advertised mid-window = %d", got)
+	}
+	last := c.LastScanAdvertisements()
+	if len(last) != 1 || last[0].Record != r1 {
+		t.Errorf("last scan certs = %d", len(last))
+	}
+}
+
+func TestLifetimes(t *testing.T) {
+	c := New()
+	r1 := rec(1, day(0), day(100), false)
+	c.RecordScan(day(0), []Advertisement{{Record: r1, Hosts: 1}})
+	c.RecordScan(day(14), []Advertisement{{Record: r1, Hosts: 1}})
+	lives := c.Lifetimes()
+	if len(lives) != 1 || lives[0] != 14 {
+		t.Errorf("lifetimes = %v", lives)
+	}
+}
+
+func TestOutOfOrderScansPanic(t *testing.T) {
+	c := New()
+	c.RecordScan(day(7), nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order scan accepted")
+		}
+	}()
+	c.RecordScan(day(0), nil)
+}
+
+func TestEmptyCorpus(t *testing.T) {
+	c := New()
+	if c.LastScanAdvertisements() != nil {
+		t.Error("empty corpus should have no last-scan ads")
+	}
+	if p := c.PopulationAt(day(0)); p.Fresh != 0 || p.Alive != 0 {
+		t.Errorf("empty population = %+v", p)
+	}
+	if len(c.Scans()) != 0 || len(c.Histories()) != 0 {
+		t.Error("empty corpus accessors")
+	}
+}

@@ -1,0 +1,229 @@
+// Package crawler implements the study's revocation-data collector: a
+// daily crawl that downloads every known CRL (2,800 distinct URLs in the
+// paper, §3.2) and records per-day snapshots, plus targeted OCSP queries
+// for the 642 certificates that carry only an OCSP responder.
+//
+// The crawler is transport-agnostic: point it at a simnet client and the
+// virtual clock for simulation, or at http.DefaultClient for the real
+// internet.
+package crawler
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/crl"
+	"repro/internal/ocsp"
+	"repro/internal/x509x"
+)
+
+// Snapshot is the outcome of one crawl day.
+type Snapshot struct {
+	Day time.Time
+	// CRLs maps distribution-point URL to the parsed CRL.
+	CRLs map[string]*crl.CRL
+	// Failures maps URL to the error that prevented its download.
+	Failures map[string]error
+	// Bytes is the total body size downloaded.
+	Bytes int64
+}
+
+// Crawler downloads revocation data.
+type Crawler struct {
+	// Client performs the HTTP requests; http.DefaultClient when nil.
+	Client *http.Client
+	// Now supplies crawl timestamps; time.Now when nil.
+	Now func() time.Time
+	// MaxCRLBytes caps a single CRL download (default 128 MiB — the
+	// paper saw CRLs up to 76 MB).
+	MaxCRLBytes int64
+	// Verify, when set, maps a CRL URL to the issuer certificate whose
+	// signature the CRL must carry; unverifiable CRLs count as failures.
+	Verify map[string]*x509x.Certificate
+	// Parallelism bounds concurrent downloads (the paper's crawler hit
+	// 2,800 CRLs per day). 1 when zero or negative.
+	Parallelism int
+}
+
+func (c *Crawler) client() *http.Client {
+	if c.Client != nil {
+		return c.Client
+	}
+	return http.DefaultClient
+}
+
+func (c *Crawler) now() time.Time {
+	if c.Now != nil {
+		return c.Now()
+	}
+	return time.Now()
+}
+
+// CrawlCRLs downloads and parses every URL, returning one snapshot.
+// Downloads run with the configured parallelism; the snapshot is
+// assembled under a lock, so results are complete regardless of order.
+func (c *Crawler) CrawlCRLs(urls []string) *Snapshot {
+	snap := &Snapshot{
+		Day:      c.now(),
+		CRLs:     make(map[string]*crl.CRL, len(urls)),
+		Failures: make(map[string]error),
+	}
+	workers := c.Parallelism
+	if workers <= 1 {
+		for _, u := range urls {
+			parsed, n, err := c.fetchOne(u)
+			snap.Bytes += n
+			if err != nil {
+				snap.Failures[u] = err
+				continue
+			}
+			snap.CRLs[u] = parsed
+		}
+		return snap
+	}
+	var (
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+		work = make(chan string)
+	)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range work {
+				parsed, n, err := c.fetchOne(u)
+				mu.Lock()
+				snap.Bytes += n
+				if err != nil {
+					snap.Failures[u] = err
+				} else {
+					snap.CRLs[u] = parsed
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, u := range urls {
+		work <- u
+	}
+	close(work)
+	wg.Wait()
+	return snap
+}
+
+func (c *Crawler) fetchOne(u string) (*crl.CRL, int64, error) {
+	resp, err := c.client().Get(u)
+	if err != nil {
+		return nil, 0, fmt.Errorf("crawler: %s: %w", u, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("crawler: %s: HTTP %d", u, resp.StatusCode)
+	}
+	limit := c.MaxCRLBytes
+	if limit <= 0 {
+		limit = 128 << 20
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, limit))
+	if err != nil {
+		return nil, int64(len(body)), fmt.Errorf("crawler: %s: read: %w", u, err)
+	}
+	parsed, err := crl.Parse(body)
+	if err != nil {
+		return nil, int64(len(body)), fmt.Errorf("crawler: %s: %w", u, err)
+	}
+	if issuer, ok := c.Verify[u]; ok {
+		if err := parsed.VerifySignature(issuer); err != nil {
+			return nil, int64(len(body)), fmt.Errorf("crawler: %s: %w", u, err)
+		}
+	}
+	return parsed, int64(len(body)), nil
+}
+
+// OCSPTarget identifies one certificate to check by OCSP (used for
+// certificates with no CRL distribution point, §3.2).
+type OCSPTarget struct {
+	ResponderURL string
+	Issuer       *x509x.Certificate
+	Serial       *big.Int
+}
+
+// OCSPResult is the outcome of one OCSP-only check.
+type OCSPResult struct {
+	Target   OCSPTarget
+	Response ocsp.SingleResponse
+	Err      error
+}
+
+// CheckOCSPOnly queries the responder for each OCSP-only certificate.
+func (c *Crawler) CheckOCSPOnly(targets []OCSPTarget) []OCSPResult {
+	client := &ocsp.Client{HTTP: c.client()}
+	out := make([]OCSPResult, 0, len(targets))
+	for _, t := range targets {
+		sr, err := client.Check(t.ResponderURL, t.Issuer, t.Serial)
+		out = append(out, OCSPResult{Target: t, Response: sr, Err: err})
+	}
+	return out
+}
+
+// Archive stores crawl snapshots in day order and answers the questions
+// the longitudinal analyses ask of them.
+type Archive struct {
+	mu    sync.Mutex
+	snaps []*Snapshot
+}
+
+// NewArchive returns an empty archive.
+func NewArchive() *Archive { return &Archive{} }
+
+// Add appends a snapshot; snapshots must arrive in chronological order.
+func (a *Archive) Add(s *Snapshot) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if n := len(a.snaps); n > 0 && s.Day.Before(a.snaps[n-1].Day) {
+		panic("crawler: snapshots must be added in order")
+	}
+	a.snaps = append(a.snaps, s)
+}
+
+// Len returns the number of stored snapshots.
+func (a *Archive) Len() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.snaps)
+}
+
+// Snapshots returns the stored snapshots in day order.
+func (a *Archive) Snapshots() []*Snapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]*Snapshot, len(a.snaps))
+	copy(out, a.snaps)
+	return out
+}
+
+// At returns the most recent snapshot at or before t.
+func (a *Archive) At(t time.Time) (*Snapshot, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	i := sort.Search(len(a.snaps), func(i int) bool { return a.snaps[i].Day.After(t) })
+	if i == 0 {
+		return nil, false
+	}
+	return a.snaps[i-1], true
+}
+
+// Latest returns the most recent snapshot.
+func (a *Archive) Latest() (*Snapshot, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.snaps) == 0 {
+		return nil, false
+	}
+	return a.snaps[len(a.snaps)-1], true
+}

@@ -1,0 +1,219 @@
+package crawler
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ca"
+	"repro/internal/crl"
+	"repro/internal/ocsp"
+	"repro/internal/simnet"
+	"repro/internal/simtime"
+	"repro/internal/x509x"
+)
+
+// testWorld wires a CA into a simnet fabric.
+type testWorld struct {
+	clock     *simtime.Clock
+	net       *simnet.Network
+	authority *ca.CA
+	crawler   *Crawler
+}
+
+func newWorld(t *testing.T) *testWorld {
+	t.Helper()
+	clock := simtime.NewClock(simtime.CrawlStart)
+	net := simnet.New()
+	authority, err := ca.NewRoot(ca.Config{
+		Name:         "CrawlCA",
+		NumCRLShards: 2,
+		CRLBaseURL:   "http://crl.crawlca.test/crl",
+		OCSPBaseURL:  "http://ocsp.crawlca.test/ocsp",
+		IncludeCRLDP: true,
+		IncludeOCSP:  true,
+		Clock:        clock.Now,
+		Seed:         3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Register("crl.crawlca.test", authority.Handler())
+	net.Register("ocsp.crawlca.test", authority.Handler())
+	return &testWorld{
+		clock:     clock,
+		net:       net,
+		authority: authority,
+		crawler: &Crawler{
+			Client: net.Client(),
+			Now:    clock.Now,
+			Verify: map[string]*x509x.Certificate{
+				authority.CRLURL(0): authority.Certificate(),
+				authority.CRLURL(1): authority.Certificate(),
+			},
+		},
+	}
+}
+
+func (w *testWorld) issue(t *testing.T) *ca.Record {
+	t.Helper()
+	return w.authority.IssueRecord(ca.IssueOptions{
+		CommonName: "h.test",
+		NotBefore:  w.clock.Now(),
+		NotAfter:   w.clock.Now().AddDate(1, 0, 0),
+	})
+}
+
+func TestCrawlDownloadsAndParses(t *testing.T) {
+	w := newWorld(t)
+	rec := w.issue(t)
+	w.clock.Advance(time.Hour)
+	if err := w.authority.Revoke(rec.Serial, w.clock.Now(), crl.ReasonKeyCompromise); err != nil {
+		t.Fatal(err)
+	}
+	urls := []string{w.authority.CRLURL(0), w.authority.CRLURL(1)}
+	snap := w.crawler.CrawlCRLs(urls)
+	if len(snap.Failures) != 0 {
+		t.Fatalf("failures: %v", snap.Failures)
+	}
+	if len(snap.CRLs) != 2 {
+		t.Fatalf("CRLs = %d", len(snap.CRLs))
+	}
+	if snap.Bytes <= 0 {
+		t.Error("no bytes accounted")
+	}
+	if !snap.CRLs[rec.CRLURL].Contains(rec.Serial) {
+		t.Error("revocation missing from crawled CRL")
+	}
+}
+
+func TestCrawlRecordsFailures(t *testing.T) {
+	w := newWorld(t)
+	urls := []string{
+		w.authority.CRLURL(0),
+		"http://nonexistent.test/x.crl",     // NXDOMAIN
+		w.authority.CRLURL(0) + "bogus.crl", // 404 shape: /crl/0.crlbogus.crl
+	}
+	snap := w.crawler.CrawlCRLs(urls)
+	if len(snap.CRLs) != 1 {
+		t.Errorf("CRLs = %d", len(snap.CRLs))
+	}
+	if len(snap.Failures) != 2 {
+		t.Errorf("failures = %v", snap.Failures)
+	}
+	// Unresponsive host.
+	w.net.SetFailure("crl.crawlca.test", simnet.FailUnresponsive)
+	snap = w.crawler.CrawlCRLs([]string{w.authority.CRLURL(0)})
+	if len(snap.Failures) != 1 {
+		t.Error("unresponsive host should fail")
+	}
+}
+
+func TestCrawlRejectsBadSignature(t *testing.T) {
+	w := newWorld(t)
+	// Verify against the wrong issuer.
+	other, err := ca.NewRoot(ca.Config{Name: "Other", Clock: w.clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.crawler.Verify[w.authority.CRLURL(0)] = other.Certificate()
+	snap := w.crawler.CrawlCRLs([]string{w.authority.CRLURL(0)})
+	if len(snap.Failures) != 1 {
+		t.Error("forged CRL accepted")
+	}
+}
+
+func TestCheckOCSPOnly(t *testing.T) {
+	w := newWorld(t)
+	rec := w.issue(t)
+	bad := w.issue(t)
+	w.clock.Advance(time.Hour)
+	if err := w.authority.Revoke(bad.Serial, w.clock.Now(), crl.ReasonUnspecified); err != nil {
+		t.Fatal(err)
+	}
+	results := w.crawler.CheckOCSPOnly([]OCSPTarget{
+		{ResponderURL: "http://ocsp.crawlca.test/ocsp", Issuer: w.authority.Certificate(), Serial: rec.Serial},
+		{ResponderURL: "http://ocsp.crawlca.test/ocsp", Issuer: w.authority.Certificate(), Serial: bad.Serial},
+		{ResponderURL: "http://down.test/ocsp", Issuer: w.authority.Certificate(), Serial: rec.Serial},
+	})
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if results[0].Err != nil || results[0].Response.Status != ocsp.StatusGood {
+		t.Errorf("good check: %+v", results[0])
+	}
+	if results[1].Err != nil || results[1].Response.Status != ocsp.StatusRevoked {
+		t.Errorf("revoked check: %+v", results[1])
+	}
+	if results[2].Err == nil {
+		t.Error("unreachable responder should error")
+	}
+}
+
+func TestArchiveOrderingAndLookup(t *testing.T) {
+	a := NewArchive()
+	if _, ok := a.Latest(); ok {
+		t.Error("empty archive has Latest")
+	}
+	if _, ok := a.At(simtime.CrawlStart); ok {
+		t.Error("empty archive has At")
+	}
+	d0 := simtime.CrawlStart
+	for i := 0; i < 5; i++ {
+		a.Add(&Snapshot{Day: d0.AddDate(0, 0, i)})
+	}
+	if a.Len() != 5 {
+		t.Fatalf("len = %d", a.Len())
+	}
+	snap, ok := a.At(d0.AddDate(0, 0, 2).Add(6 * time.Hour))
+	if !ok || !snap.Day.Equal(d0.AddDate(0, 0, 2)) {
+		t.Errorf("At = %v", snap.Day)
+	}
+	if _, ok := a.At(d0.Add(-time.Hour)); ok {
+		t.Error("At before first snapshot")
+	}
+	latest, _ := a.Latest()
+	if !latest.Day.Equal(d0.AddDate(0, 0, 4)) {
+		t.Errorf("latest = %v", latest.Day)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order Add accepted")
+		}
+	}()
+	a.Add(&Snapshot{Day: d0})
+}
+
+func TestParallelCrawlMatchesSerial(t *testing.T) {
+	w := newWorld(t)
+	var recs []*ca.Record
+	for i := 0; i < 20; i++ {
+		recs = append(recs, w.issue(t))
+	}
+	w.clock.Advance(time.Hour)
+	for i := 0; i < 10; i++ {
+		if err := w.authority.Revoke(recs[i].Serial, w.clock.Now(), crl.ReasonUnspecified); err != nil {
+			t.Fatal(err)
+		}
+	}
+	urls := []string{
+		w.authority.CRLURL(0), w.authority.CRLURL(1),
+		"http://nonexistent.test/x.crl",
+	}
+	serial := w.crawler.CrawlCRLs(urls)
+
+	w.crawler.Parallelism = 8
+	parallel := w.crawler.CrawlCRLs(urls)
+	if len(parallel.CRLs) != len(serial.CRLs) || len(parallel.Failures) != len(serial.Failures) {
+		t.Fatalf("parallel %d/%d vs serial %d/%d",
+			len(parallel.CRLs), len(parallel.Failures), len(serial.CRLs), len(serial.Failures))
+	}
+	for u, c := range serial.CRLs {
+		p, ok := parallel.CRLs[u]
+		if !ok || len(p.Entries) != len(c.Entries) {
+			t.Errorf("parallel crawl differs at %s", u)
+		}
+	}
+	if parallel.Bytes == 0 {
+		t.Error("no bytes accounted in parallel crawl")
+	}
+}

@@ -1,0 +1,236 @@
+// Package crlset implements Google's CRLSet mechanism (§7): the binary
+// format Chrome ships (a JSON header followed by per-parent serial lists,
+// where a parent is the SHA-256 of an issuer's SubjectPublicKeyInfo), the
+// documented generation rules (250 KB size cap, CRLSet-eligible reason
+// codes only, oversized CRLs dropped), and the timeline machinery behind
+// the coverage and dynamics analyses of §7.2–7.3.
+package crlset
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+)
+
+// MaxBytes is Google's documented cap on the CRLSet file size.
+const MaxBytes = 250 * 1024
+
+// Parent identifies an issuing key: SHA-256 of its SubjectPublicKeyInfo.
+type Parent [32]byte
+
+// Set is one CRLSet snapshot.
+type Set struct {
+	// Sequence is the CRLSet's version counter.
+	Sequence int
+	parents  map[Parent][]string // serial bytes (raw big-endian)
+	lookup   map[Parent]map[string]bool
+	order    []Parent
+	// BlockedSPKIs lists leaf keys blocked outright (the ~11-entry list
+	// §7.1 footnote 26 describes).
+	BlockedSPKIs []Parent
+}
+
+// NewSet returns an empty CRLSet with the given sequence number.
+func NewSet(sequence int) *Set {
+	return &Set{
+		Sequence: sequence,
+		parents:  make(map[Parent][]string),
+		lookup:   make(map[Parent]map[string]bool),
+	}
+}
+
+// Add inserts a revoked serial under a parent. Duplicate serials for the
+// same parent are ignored.
+func (s *Set) Add(p Parent, serial *big.Int) {
+	key := string(serial.Bytes())
+	set, known := s.lookup[p]
+	if !known {
+		set = make(map[string]bool)
+		s.lookup[p] = set
+		s.order = append(s.order, p)
+	}
+	if set[key] {
+		return
+	}
+	set[key] = true
+	s.parents[p] = append(s.parents[p], key)
+}
+
+// Covers reports whether the set revokes (parent, serial).
+func (s *Set) Covers(p Parent, serial *big.Int) bool {
+	return s.lookup[p][string(serial.Bytes())]
+}
+
+// HasParent reports whether any entry exists for parent p.
+func (s *Set) HasParent(p Parent) bool {
+	_, ok := s.parents[p]
+	return ok
+}
+
+// NumParents returns the count of distinct parents.
+func (s *Set) NumParents() int { return len(s.order) }
+
+// NumEntries returns the total revocation count.
+func (s *Set) NumEntries() int {
+	n := 0
+	for _, list := range s.parents {
+		n += len(list)
+	}
+	return n
+}
+
+// Parents returns the parents in insertion order.
+func (s *Set) Parents() []Parent {
+	out := make([]Parent, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Serials returns the serials recorded under p.
+func (s *Set) Serials(p Parent) []*big.Int {
+	list := s.parents[p]
+	out := make([]*big.Int, len(list))
+	for i, k := range list {
+		out[i] = new(big.Int).SetBytes([]byte(k))
+	}
+	return out
+}
+
+// header is the JSON preamble of the wire format.
+type header struct {
+	ContentType string `json:"ContentType"`
+	Sequence    int    `json:"Sequence"`
+	NumParents  int    `json:"NumParents"`
+	BlockedSPKI int    `json:"BlockedSPKIs"`
+}
+
+// Marshal encodes the set in Chrome's CRLSet wire format: a uint16
+// little-endian header length, a JSON header, then for each parent a
+// 32-byte SPKI hash, a uint32 LE serial count, and length-prefixed
+// serials; blocked SPKIs follow as raw 32-byte hashes.
+func (s *Set) Marshal() ([]byte, error) {
+	h, err := json.Marshal(header{
+		ContentType: "CRLSet",
+		Sequence:    s.Sequence,
+		NumParents:  len(s.order),
+		BlockedSPKI: len(s.BlockedSPKIs),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(h) > 0xffff {
+		return nil, errors.New("crlset: header too large")
+	}
+	out := binary.LittleEndian.AppendUint16(nil, uint16(len(h)))
+	out = append(out, h...)
+	for _, p := range s.order {
+		out = append(out, p[:]...)
+		list := s.parents[p]
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(list)))
+		for _, serial := range list {
+			if len(serial) > 255 {
+				return nil, fmt.Errorf("crlset: serial of %d bytes", len(serial))
+			}
+			out = append(out, byte(len(serial)))
+			out = append(out, serial...)
+		}
+	}
+	for _, spki := range s.BlockedSPKIs {
+		out = append(out, spki[:]...)
+	}
+	return out, nil
+}
+
+// Size returns the marshaled byte size.
+func (s *Set) Size() int {
+	b, err := s.Marshal()
+	if err != nil {
+		return 0
+	}
+	return len(b)
+}
+
+// Parse decodes a CRLSet produced by Marshal.
+func Parse(data []byte) (*Set, error) {
+	if len(data) < 2 {
+		return nil, errors.New("crlset: short input")
+	}
+	hlen := int(binary.LittleEndian.Uint16(data))
+	if len(data) < 2+hlen {
+		return nil, errors.New("crlset: truncated header")
+	}
+	var h header
+	if err := json.Unmarshal(data[2:2+hlen], &h); err != nil {
+		return nil, fmt.Errorf("crlset: header: %v", err)
+	}
+	if h.ContentType != "CRLSet" {
+		return nil, fmt.Errorf("crlset: content type %q", h.ContentType)
+	}
+	s := NewSet(h.Sequence)
+	pos := 2 + hlen
+	for i := 0; i < h.NumParents; i++ {
+		if pos+36 > len(data) {
+			return nil, errors.New("crlset: truncated parent")
+		}
+		var p Parent
+		copy(p[:], data[pos:pos+32])
+		pos += 32
+		count := int(binary.LittleEndian.Uint32(data[pos:]))
+		pos += 4
+		// Each serial costs at least its length byte: a count beyond the
+		// remaining input is corrupt, and must be rejected before any
+		// count-sized allocation (a flipped bit in the count field must
+		// not make Parse allocate gigabytes).
+		if count < 0 || count > len(data)-pos {
+			return nil, fmt.Errorf("crlset: implausible serial count %d", count)
+		}
+		s.order = append(s.order, p)
+		list := make([]string, 0, count)
+		set := make(map[string]bool, count)
+		for j := 0; j < count; j++ {
+			if pos >= len(data) {
+				return nil, errors.New("crlset: truncated serial length")
+			}
+			n := int(data[pos])
+			pos++
+			if pos+n > len(data) {
+				return nil, errors.New("crlset: truncated serial")
+			}
+			key := string(data[pos : pos+n])
+			list = append(list, key)
+			set[key] = true
+			pos += n
+		}
+		s.parents[p] = list
+		s.lookup[p] = set
+	}
+	for i := 0; i < h.BlockedSPKI; i++ {
+		if pos+32 > len(data) {
+			return nil, errors.New("crlset: truncated blocked SPKI")
+		}
+		var p Parent
+		copy(p[:], data[pos:pos+32])
+		s.BlockedSPKIs = append(s.BlockedSPKIs, p)
+		pos += 32
+	}
+	if pos != len(data) {
+		return nil, errors.New("crlset: trailing bytes")
+	}
+	return s, nil
+}
+
+// sortedParents returns parents in deterministic (byte) order — generation
+// must be reproducible run to run.
+func sortedParents(m map[Parent][]serialEntry) []Parent {
+	out := make([]Parent, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return string(out[i][:]) < string(out[j][:])
+	})
+	return out
+}

@@ -1,0 +1,250 @@
+package crlset
+
+import (
+	"math/big"
+	"time"
+
+	"repro/internal/crl"
+)
+
+// SourceCRL is one crawled CRL as the generator sees it: the issuing key's
+// SPKI hash plus the entries from the most recent crawl.
+type SourceCRL struct {
+	Parent Parent
+	URL    string
+	// Public reports whether Google's crawler can see this CRL at all;
+	// the generator skips non-public CRLs, and §7.2 finds 10 of 62
+	// CRLSet parents come from non-public CRLs Google sees privately.
+	Public  bool
+	Entries []crl.Entry
+}
+
+type serialEntry struct {
+	serial *big.Int
+}
+
+// GeneratorConfig captures Google's documented CRLSet construction rules
+// (§7.1): a hard size cap, a reason-code filter, and dropping CRLs that
+// are too large to fit.
+type GeneratorConfig struct {
+	// MaxBytes caps the marshaled size; MaxBytes (250 KB) when zero.
+	MaxBytes int
+	// MaxCRLEntries drops any CRL with more entries ("if a CRL has too
+	// many entries it will be dropped"); 10,000 when zero.
+	MaxCRLEntries int
+	// FilterReasons keeps only revocations whose reason code is
+	// CRLSet-eligible (no reason, Unspecified, KeyCompromise,
+	// CACompromise, AACompromise).
+	FilterReasons bool
+}
+
+func (c *GeneratorConfig) fillDefaults() {
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = MaxBytes
+	}
+	if c.MaxCRLEntries <= 0 {
+		c.MaxCRLEntries = 10000
+	}
+}
+
+// Generate builds one CRLSet snapshot from the crawled CRLs. CRLs are
+// considered in deterministic parent order; a CRL that would push the set
+// past the size cap is dropped wholesale, like the oversized-CRL rule.
+func Generate(cfg GeneratorConfig, sources []SourceCRL, sequence int) *Set {
+	cfg.fillDefaults()
+	set := NewSet(sequence)
+
+	// Group eligible entries per parent+URL, applying the per-CRL rules.
+	type candidate struct {
+		parent  Parent
+		entries []serialEntry
+	}
+	byParent := make(map[Parent][]serialEntry)
+	for _, src := range sources {
+		if !src.Public {
+			continue
+		}
+		if len(src.Entries) > cfg.MaxCRLEntries {
+			continue // oversized CRL dropped entirely
+		}
+		for _, e := range src.Entries {
+			if cfg.FilterReasons && !e.Reason.CRLSetEligible() {
+				continue
+			}
+			byParent[src.Parent] = append(byParent[src.Parent], serialEntry{serial: e.Serial})
+		}
+	}
+
+	// Admit parents in deterministic order until the size cap.
+	size := set.Size()
+	for _, p := range sortedParents(byParent) {
+		entries := byParent[p]
+		// Parent block: 32-byte hash + 4-byte count + per-serial
+		// (1 + len) bytes.
+		add := 36
+		for _, e := range entries {
+			add += 1 + len(e.serial.Bytes())
+		}
+		if size+add > cfg.MaxBytes {
+			continue
+		}
+		for _, e := range entries {
+			set.Add(p, e.serial)
+		}
+		size += add
+	}
+	return set
+}
+
+// Timeline is a day-indexed sequence of CRLSet snapshots, the shape of the
+// paper's 300-snapshot corpus.
+type Timeline struct {
+	days []time.Time
+	sets []*Set
+}
+
+// NewTimeline returns an empty timeline.
+func NewTimeline() *Timeline { return &Timeline{} }
+
+// Add appends a day's snapshot; days must be added in order.
+func (tl *Timeline) Add(day time.Time, s *Set) {
+	if n := len(tl.days); n > 0 && day.Before(tl.days[n-1]) {
+		panic("crlset: timeline days must be in order")
+	}
+	tl.days = append(tl.days, day)
+	tl.sets = append(tl.sets, s)
+}
+
+// Len returns the number of snapshots.
+func (tl *Timeline) Len() int { return len(tl.days) }
+
+// Days returns the snapshot days in order.
+func (tl *Timeline) Days() []time.Time {
+	out := make([]time.Time, len(tl.days))
+	copy(out, tl.days)
+	return out
+}
+
+// At returns the snapshot for day i.
+func (tl *Timeline) At(i int) (time.Time, *Set) { return tl.days[i], tl.sets[i] }
+
+// EntryCounts returns the per-day entry totals (Figure 8's series).
+func (tl *Timeline) EntryCounts() []int {
+	out := make([]int, len(tl.sets))
+	for i, s := range tl.sets {
+		out[i] = s.NumEntries()
+	}
+	return out
+}
+
+// FirstAppearance returns the first day on which (parent, serial) was
+// covered.
+func (tl *Timeline) FirstAppearance(p Parent, serial *big.Int) (time.Time, bool) {
+	for i, s := range tl.sets {
+		if s.Covers(p, serial) {
+			return tl.days[i], true
+		}
+	}
+	return time.Time{}, false
+}
+
+// RemovalTime returns the first day on which (parent, serial) was absent
+// after having been present. ok is false if it never appeared or was
+// still present on the final day.
+func (tl *Timeline) RemovalTime(p Parent, serial *big.Int) (time.Time, bool) {
+	appeared := false
+	for i, s := range tl.sets {
+		covered := s.Covers(p, serial)
+		if covered {
+			appeared = true
+			continue
+		}
+		if appeared {
+			return tl.days[i], true
+		}
+	}
+	return time.Time{}, false
+}
+
+// Additions returns, per day index >= 1, how many entries are new relative
+// to the previous day's snapshot (Figure 9's CRLSet series).
+func (tl *Timeline) Additions() []int {
+	out := make([]int, 0, len(tl.sets))
+	for i := 1; i < len(tl.sets); i++ {
+		prev, cur := tl.sets[i-1], tl.sets[i]
+		added := 0
+		for _, p := range cur.order {
+			old := make(map[string]bool, len(prev.parents[p]))
+			for _, serial := range prev.parents[p] {
+				old[serial] = true
+			}
+			for _, serial := range cur.parents[p] {
+				if !old[serial] {
+					added++
+				}
+			}
+		}
+		out = append(out, added)
+	}
+	return out
+}
+
+// Coverage summarizes how much of the CRL universe a CRLSet covers — the
+// §7.2 analysis.
+type Coverage struct {
+	// TotalRevocations counts entries across all crawled CRLs;
+	// CoveredRevocations counts those present in the set.
+	TotalRevocations   int
+	CoveredRevocations int
+	// EligibleRevocations counts entries with CRLSet-eligible reasons.
+	EligibleRevocations int
+	// TotalCRLs and CoveredCRLs count CRLs with >= 1 entry in the set.
+	TotalCRLs   int
+	CoveredCRLs int
+	// PerCoveredCRLAll and PerCoveredCRLEligible are the Figure 7
+	// distributions: for each covered CRL, the fraction of its entries
+	// (all, and eligible-only) that appear in the set.
+	PerCoveredCRLAll      []float64
+	PerCoveredCRLEligible []float64
+}
+
+// CoverageFraction returns covered/total revocations (the paper's 0.35%).
+func (c Coverage) CoverageFraction() float64 {
+	if c.TotalRevocations == 0 {
+		return 0
+	}
+	return float64(c.CoveredRevocations) / float64(c.TotalRevocations)
+}
+
+// AnalyzeCoverage compares a CRLSet against the full CRL corpus.
+func AnalyzeCoverage(set *Set, sources []SourceCRL) Coverage {
+	var cov Coverage
+	for _, src := range sources {
+		cov.TotalCRLs++
+		inSet, eligible, eligibleInSet := 0, 0, 0
+		for _, e := range src.Entries {
+			cov.TotalRevocations++
+			if e.Reason.CRLSetEligible() {
+				cov.EligibleRevocations++
+				eligible++
+			}
+			if set.Covers(src.Parent, e.Serial) {
+				cov.CoveredRevocations++
+				inSet++
+				if e.Reason.CRLSetEligible() {
+					eligibleInSet++
+				}
+			}
+		}
+		if inSet > 0 {
+			cov.CoveredCRLs++
+			if len(src.Entries) > 0 {
+				cov.PerCoveredCRLAll = append(cov.PerCoveredCRLAll, float64(inSet)/float64(len(src.Entries)))
+			}
+			if eligible > 0 {
+				cov.PerCoveredCRLEligible = append(cov.PerCoveredCRLEligible, float64(eligibleInSet)/float64(eligible))
+			}
+		}
+	}
+	return cov
+}

@@ -1,0 +1,85 @@
+package der
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// FuzzParse: the strict DER parser must reject or accept arbitrary bytes
+// without ever panicking — a crawler feeds it whatever the network serves.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x30, 0x00})
+	f.Add(Sequence(Int(1), PrintableString("x")))
+	f.Add([]byte{0x30, 0x84, 0xff, 0xff, 0xff, 0xff})
+	f.Add(EncodeOID(MustOID("2.5.29.31")))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, rest, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if len(v.Full)+len(rest) != len(data) {
+			t.Fatalf("length accounting: %d + %d != %d", len(v.Full), len(rest), len(data))
+		}
+		// Exercising the typed decoders must not panic either.
+		v.Integer()
+		v.OID()
+		v.Bool()
+		v.Time()
+		v.BitString()
+		v.NamedBits()
+		v.OctetString()
+		v.DecodeString()
+		v.Enumerated()
+		if v.Constructed {
+			v.Children()
+		}
+	})
+}
+
+// TestParseNeverPanicsOnMutations corrupts valid encodings at random
+// positions: every mutation must parse cleanly or error, never panic, and
+// successful parses must account for every byte.
+func TestParseNeverPanicsOnMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	seed := Sequence(
+		Int(123456),
+		Sequence(EncodeOID(MustOID("1.2.840.10045.4.3.2"))),
+		PrintableString("mutation target"),
+		BitString([]byte{1, 2, 3, 4, 5, 6, 7, 8}),
+		Explicit(3, Sequence(Bool(true), Null())),
+	)
+	for i := 0; i < 20000; i++ {
+		data := append([]byte(nil), seed...)
+		for flips := rng.Intn(4) + 1; flips > 0; flips-- {
+			data[rng.Intn(len(data))] ^= byte(1 << rng.Intn(8))
+		}
+		if rng.Intn(4) == 0 {
+			data = data[:rng.Intn(len(data))]
+		}
+		vals, err := ParseAll(data)
+		if err != nil {
+			continue
+		}
+		total := 0
+		for _, v := range vals {
+			total += len(v.Full)
+		}
+		if total != len(data) {
+			t.Fatalf("mutation %d: parsed %d of %d bytes", i, total, len(data))
+		}
+	}
+}
+
+// Property: random byte strings never panic the parser.
+func TestParseRandomBytesProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		Parse(data)
+		ParseAll(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

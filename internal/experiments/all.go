@@ -1,0 +1,90 @@
+package experiments
+
+import "repro/internal/workload"
+
+// All runs every experiment in paper order and returns the results. The
+// world-based experiments share r's world; Table 2 and the failure-policy
+// ablation run on the shared browser test suite.
+func (r *Runner) All() ([]*Result, error) {
+	var out []*Result
+	add := func(res *Result, err error) error {
+		if err != nil {
+			return err
+		}
+		out = append(out, res)
+		return nil
+	}
+	if err := add(r.Figure1(), nil); err != nil {
+		return nil, err
+	}
+	if err := add(r.Figure2(), nil); err != nil {
+		return nil, err
+	}
+	if err := add(r.Figure3(), nil); err != nil {
+		return nil, err
+	}
+	if err := add(r.StaplingDeployment(), nil); err != nil {
+		return nil, err
+	}
+	if err := add(r.Figure4(), nil); err != nil {
+		return nil, err
+	}
+	if err := add(r.Figure5()); err != nil {
+		return nil, err
+	}
+	if err := add(r.Figure6()); err != nil {
+		return nil, err
+	}
+	if err := add(r.Table1()); err != nil {
+		return nil, err
+	}
+	if err := add(Table2()); err != nil {
+		return nil, err
+	}
+	if err := add(r.Figure7(), nil); err != nil {
+		return nil, err
+	}
+	if err := add(r.CRLSetCoverage(), nil); err != nil {
+		return nil, err
+	}
+	if err := add(r.Figure8(), nil); err != nil {
+		return nil, err
+	}
+	if err := add(r.Figure9(), nil); err != nil {
+		return nil, err
+	}
+	if err := add(r.Figure10(), nil); err != nil {
+		return nil, err
+	}
+	if err := add(r.Figure11(), nil); err != nil {
+		return nil, err
+	}
+	if err := add(r.DatasetSummary(), nil); err != nil {
+		return nil, err
+	}
+	if err := add(r.AblationCRLSharding()); err != nil {
+		return nil, err
+	}
+	if err := add(r.AblationStapling()); err != nil {
+		return nil, err
+	}
+	if err := add(r.AblationSetEncoding(), nil); err != nil {
+		return nil, err
+	}
+	if err := add(AblationFailurePolicy()); err != nil {
+		return nil, err
+	}
+	if err := add(ExtensionMultiStaple()); err != nil {
+		return nil, err
+	}
+	if err := add(ExtensionShortLived(), nil); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DefaultRunner builds a runner at the standard experiment scale (1/100 of
+// internet scale) with the calibrated configuration.
+func DefaultRunner() (*Runner, error) {
+	return New(workload.DefaultConfig())
+}

@@ -1,0 +1,369 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bloom"
+	"repro/internal/ca"
+	"repro/internal/stats"
+)
+
+// caRecord aliases the CA issuance record for map keys.
+type caRecord = ca.Record
+
+// Figure7 regenerates the CDF of the fraction of each covered CRL's
+// entries appearing in the CRLSet, for all entries and for entries with
+// CRLSet-eligible reason codes.
+func (r *Runner) Figure7() *Result {
+	cov := r.World.CoverageNow()
+	res := &Result{
+		ID:     "fig7",
+		Title:  "Fraction of covered CRLs' entries appearing in CRLSet",
+		Header: []string{"quantile", "all_entries_frac", "eligible_entries_frac"},
+	}
+	if len(cov.PerCoveredCRLAll) == 0 {
+		res.Findings = append(res.Findings, Finding{
+			Metric: "covered CRLs", Paper: "295 covered CRLs", Measured: "none", OK: false,
+		})
+		return res
+	}
+	all := stats.NewCDF(cov.PerCoveredCRLAll)
+	eligible := stats.NewCDF(cov.PerCoveredCRLEligible)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%.2f", q),
+			fmt.Sprintf("%.3f", all.Quantile(q)),
+			fmt.Sprintf("%.3f", eligible.Quantile(q)),
+		})
+	}
+	fullyEligible := eligible.At(0.999)
+	res.Findings = []Finding{
+		{
+			Metric:   "covered CRLs with all eligible entries included",
+			Paper:    "75.6% of covered CRLs",
+			Measured: fmt.Sprintf("%.1f%% (1 - CDF(0.999) = %.3f)", (1-fullyEligible)*100, fullyEligible),
+			OK:       1-fullyEligible > 0.4,
+		},
+		{
+			Metric:   "eligible coverage exceeds overall coverage",
+			Paper:    "reason-code filter explains most gaps",
+			Measured: fmt.Sprintf("median all %.3f vs eligible %.3f", all.Median(), eligible.Median()),
+			OK:       eligible.Median() >= all.Median(),
+		},
+	}
+	return res
+}
+
+// CRLSetCoverage regenerates the §7.2 coverage numbers.
+func (r *Runner) CRLSetCoverage() *Result {
+	cov := r.World.CoverageNow()
+	set := r.World.LatestSet()
+	res := &Result{
+		ID:    "sec7.2",
+		Title: "CRLSet coverage of the CRL universe",
+	}
+	top1M, top1MCov, top1k, top1kCov := r.World.AlexaCoverage()
+	res.Findings = []Finding{
+		{
+			Metric:   "fraction of revocations covered",
+			Paper:    "0.35%",
+			Measured: fmt.Sprintf("%.2f%% (%d of %d)", cov.CoverageFraction()*100, cov.CoveredRevocations, cov.TotalRevocations),
+			OK:       cov.CoverageFraction() > 0 && cov.CoverageFraction() < 0.05,
+		},
+		{
+			Metric:   "fraction of CRLs covered",
+			Paper:    "10.5% (295 of 2,800)",
+			Measured: fmt.Sprintf("%.1f%% (%d of %d)", ratio(cov.CoveredCRLs, cov.TotalCRLs)*100, cov.CoveredCRLs, cov.TotalCRLs),
+			OK:       cov.CoveredCRLs > 0 && cov.CoveredCRLs < cov.TotalCRLs/2,
+		},
+		{
+			Metric:   "CRLSet parents",
+			Paper:    "62 parents (3.9% of CA certs)",
+			Measured: fmt.Sprint(set.NumParents()),
+			OK:       set.NumParents() > 0 && set.NumParents() <= len(r.World.Authorities),
+		},
+		{
+			Metric:   "Alexa-1M revocations covered",
+			Paper:    "3.9% (1,644 of 42,225)",
+			Measured: fmt.Sprintf("%.1f%% (%d of %d)", ratio(top1MCov, top1M)*100, top1MCov, top1M),
+			OK:       top1M > 0 && ratio(top1MCov, top1M) < 0.25,
+		},
+		{
+			Metric:   "Alexa top-1k coverage low too",
+			Paper:    "10.4% (41 of 392)",
+			Measured: fmt.Sprintf("%d of %d", top1kCov, top1k),
+			OK:       top1k == 0 || ratio(top1kCov, top1k) <= 0.5,
+		},
+	}
+	return res
+}
+
+// Figure8 regenerates the CRLSet size-over-time series.
+func (r *Runner) Figure8() *Result {
+	days := r.World.Timeline.Days()
+	counts := r.World.Timeline.EntryCounts()
+	res := &Result{
+		ID:     "fig8",
+		Title:  "Number of entries in the CRLSet over time",
+		Header: []string{"day", "entries"},
+	}
+	for i := 0; i < len(days); i += 7 {
+		res.Rows = append(res.Rows, []string{fdate(days[i]), fmt.Sprint(counts[i])})
+	}
+	peak, peakIdx := 0, 0
+	for i, c := range counts {
+		if c > peak {
+			peak, peakIdx = c, i
+		}
+	}
+	final := counts[len(counts)-1]
+	res.Findings = []Finding{
+		{
+			Metric:   "peak entries near Heartbleed",
+			Paper:    "~24,904 at Heartbleed",
+			Measured: fmt.Sprintf("%d at %s (full-scale est. %.0f)", peak, fdate(days[peakIdx]), r.fullScale(float64(peak))),
+			OK:       peak > 0 && !days[peakIdx].Before(r.World.Cfg.HeartbleedAt),
+		},
+		{
+			Metric:   "size declines after peak",
+			Paper:    "shrinks by more than a third over the following year",
+			Measured: fmt.Sprintf("peak %d -> final %d (%.0f%%)", peak, final, 100*float64(final)/float64(peak)),
+			OK:       final < peak,
+		},
+	}
+	return res
+}
+
+// Figure9 regenerates the daily CRL-vs-CRLSet additions series.
+func (r *Runner) Figure9() *Result {
+	res := &Result{
+		ID:     "fig9",
+		Title:  "Daily new revocations in CRLs vs CRLSet",
+		Header: []string{"day", "crl_additions", "crlset_additions"},
+	}
+	crlDaily := r.World.RevDB.DailyAdditions()
+	setDays := r.World.Timeline.Days()
+	setAdds := r.World.Timeline.Additions()
+
+	setAddByDay := make(map[time.Time]int)
+	for i := 1; i < len(setDays); i++ {
+		setAddByDay[setDays[i]] = setAdds[i-1]
+	}
+	var crlTotal, setTotal int
+	outageZero := true
+	for _, snap := range r.World.Archive.Snapshots() {
+		day := snap.Day
+		crlAdd := crlDaily[day]
+		setAdd := setAddByDay[day]
+		crlTotal += crlAdd
+		setTotal += setAdd
+		res.Rows = append(res.Rows, []string{fdate(day), fmt.Sprint(crlAdd), fmt.Sprint(setAdd)})
+		if !day.Before(r.World.Cfg.CRLSetOutageFrom) && day.Before(r.World.Cfg.CRLSetOutageTo) && setAdd != 0 {
+			outageZero = false
+		}
+	}
+	res.Findings = []Finding{
+		{
+			Metric:   "CRL additions dwarf CRLSet additions",
+			Paper:    "upper line vs lower line (log scale)",
+			Measured: fmt.Sprintf("%d CRL vs %d CRLSet additions over the crawl", crlTotal, setTotal),
+			OK:       crlTotal > setTotal,
+		},
+		{
+			Metric:   "CRLSet addition gap",
+			Paper:    "no additions for ~2 weeks in Nov-Dec 2014",
+			Measured: fmt.Sprintf("outage window additions zero: %t", outageZero),
+			OK:       outageZero,
+		},
+	}
+	return res
+}
+
+// Figure10 regenerates the vulnerability-window CDFs.
+func (r *Runner) Figure10() *Result {
+	vw := r.World.VulnerabilityWindows()
+	res := &Result{
+		ID:     "fig10",
+		Title:  "Days to appear in CRLSet; days between CRLSet removal and expiry",
+		Header: []string{"quantile", "days_to_appear", "removal_to_expiry_days"},
+	}
+	if len(vw.DaysToAppear) == 0 {
+		res.Findings = append(res.Findings, Finding{Metric: "covered revocations", Paper: ">0", Measured: "0", OK: false})
+		return res
+	}
+	appear := stats.NewCDF(vw.DaysToAppear)
+	var removal *stats.CDF
+	if len(vw.RemovalToExpiry) > 0 {
+		removal = stats.NewCDF(vw.RemovalToExpiry)
+	}
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		rem := "-"
+		if removal != nil {
+			rem = fmt.Sprintf("%.0f", removal.Quantile(q))
+		}
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%.2f", q), fmt.Sprintf("%.1f", appear.Quantile(q)), rem,
+		})
+	}
+	within1 := appear.At(1)
+	within2 := appear.At(2)
+	res.Findings = []Finding{
+		{
+			Metric:   "revocations appearing within 1 day",
+			Paper:    "60%",
+			Measured: fmt.Sprintf("%.0f%% (within 2 days: %.0f%%)", within1*100, within2*100),
+			OK:       within2 > 0.5,
+		},
+		{
+			Metric:   "removals before expiry exist",
+			Paper:    "median removal 187 days before expiry",
+			Measured: measuredRemoval(removal),
+			OK:       removal != nil && removal.Median() > 30,
+		},
+	}
+	return res
+}
+
+func measuredRemoval(removal *stats.CDF) string {
+	if removal == nil {
+		return "none observed"
+	}
+	return fmt.Sprintf("median %.0f days before expiry (%d cases)", removal.Median(), removal.N())
+}
+
+// Figure11 regenerates the Bloom-filter design-space sweep: false-positive
+// rate versus number of revocations for several filter sizes, compared
+// with the CRLSet's fixed capacity. This experiment is analytic (the
+// formulas of §7.4) plus an empirical spot check of one configuration.
+func (r *Runner) Figure11() *Result {
+	res := &Result{
+		ID:     "fig11",
+		Title:  "Bloom filter false-positive rate vs revocations held, by filter size",
+		Header: []string{"n_revocations", "m=256KB", "m=512KB", "m=1MB", "m=2MB", "m=16MB"},
+	}
+	sizes := []int{256 << 10, 512 << 10, 1 << 20, 2 << 20, 16 << 20}
+	ns := []int{10_000, 25_000, 50_000, 100_000, 250_000, 500_000, 1_000_000, 1_700_000, 4_000_000, 10_000_000}
+	for _, n := range ns {
+		row := []string{fmt.Sprint(n)}
+		for _, mBytes := range sizes {
+			mBits := uint64(mBytes) * 8
+			k := bloom.OptimalK(mBits, n)
+			row = append(row, fmt.Sprintf("%.2e", bloom.EstimateFPR(mBits, n, k)))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	cap256 := bloom.CapacityAtFPR(256<<10*8, 0.01)
+	cap2M := bloom.CapacityAtFPR(2<<20*8, 0.01)
+
+	// Empirical spot check: a filter sized like CRLSet's byte budget
+	// really achieves the analytic rate.
+	f := bloom.NewOptimal(256<<10, 200_000)
+	for i := 0; i < 200_000; i++ {
+		f.Add([]byte(fmt.Sprintf("rev-%d", i)))
+	}
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		if f.Contains([]byte(fmt.Sprintf("probe-%d", i))) {
+			fp++
+		}
+	}
+	empirical := float64(fp) / probes
+
+	res.Findings = []Finding{
+		{
+			Metric:   "256 KB filter capacity at 1% FPR",
+			Paper:    "order of magnitude above CRLSet's ~25k",
+			Measured: fmt.Sprintf("%d revocations (%.0fx CRLSet)", cap256, float64(cap256)/25000),
+			OK:       cap256 > 8*25000,
+		},
+		{
+			Metric:   "2 MB filter capacity at 1% FPR",
+			Paper:    "1.7M revocations (15% of all CRL entries)",
+			Measured: fmt.Sprint(cap2M),
+			OK:       cap2M > 1_500_000 && cap2M < 2_000_000,
+		},
+		{
+			Metric:   "empirical FPR matches theory",
+			Paper:    "(1-e^{-kn/m})^k",
+			Measured: fmt.Sprintf("%.4f measured vs %.4f theory", empirical, f.FalsePositiveRate()),
+			OK:       empirical < f.FalsePositiveRate()*2+0.002,
+		},
+	}
+	return res
+}
+
+// DatasetSummary regenerates the §3 dataset overview.
+func (r *Runner) DatasetSummary() *Result {
+	s := r.World.Summary()
+	res := &Result{
+		ID:    "sec3",
+		Title: "Dataset summary (Leaf Set shape)",
+	}
+	crlFrac := ratio(s.WithCRL, s.Observed)
+	ocspFrac := ratio(s.WithOCSP, s.Observed)
+	neitherFrac := ratio(s.WithNeither, s.Observed)
+	advFrac := ratio(s.AdvertisedLatest, s.Observed)
+	reasons := r.World.RevocationReasons()
+	total := 0
+	for _, n := range reasons {
+		total += n
+	}
+	res.Findings = []Finding{
+		{
+			Metric:   "Leaf Set size",
+			Paper:    "5,067,476 certificates",
+			Measured: fmt.Sprintf("%d observed (full-scale est. %.0f)", s.Observed, r.fullScale(float64(s.Observed))),
+			OK:       s.Observed > 0,
+		},
+		{
+			Metric:   "certificates with CRL pointer",
+			Paper:    "99.9%",
+			Measured: fmt.Sprintf("%.2f%%", crlFrac*100),
+			OK:       crlFrac > 0.97,
+		},
+		{
+			Metric:   "certificates with OCSP pointer",
+			Paper:    "95.0%",
+			Measured: fmt.Sprintf("%.2f%%", ocspFrac*100),
+			OK:       ocspFrac > 0.85,
+		},
+		{
+			// At very small scales the expected count of 0.09%-rare
+			// certificates drops below one; require presence only when
+			// the population is large enough to expect a few.
+			Metric:   "unrevokable certificates (neither pointer)",
+			Paper:    "0.09%",
+			Measured: fmt.Sprintf("%.3f%% (%d of %d)", neitherFrac*100, s.WithNeither, s.Observed),
+			OK:       neitherFrac < 0.01 && (s.WithNeither > 0 || float64(s.Observed)*0.0009 < 3),
+		},
+		{
+			Metric:   "still advertised in latest scan",
+			Paper:    "45.2%",
+			Measured: fmt.Sprintf("%.1f%%", advFrac*100),
+			OK:       advFrac > 0.2 && advFrac < 0.8,
+		},
+		{
+			Metric:   "revocations without reason code",
+			Paper:    "vast majority",
+			Measured: fmt.Sprintf("%d of %d", reasons["(absent)"], total),
+			OK:       total > 0 && reasons["(absent)"]*2 > total,
+		},
+		{
+			Metric:   "intermediates with OCSP pointer",
+			Paper:    "48.5% (vs 95% of leaves)",
+			Measured: fmt.Sprintf("%.1f%% of %d", ratio(s.IntermediateWithOCSP, s.Intermediates)*100, s.Intermediates),
+			OK: s.Intermediates > 0 &&
+				ratio(s.IntermediateWithOCSP, s.Intermediates) < 0.7 &&
+				ratio(s.IntermediateWithCRL, s.Intermediates) > 0.9,
+		},
+		{
+			Metric:   "unrevokable intermediates",
+			Paper:    "0.92% — worrisome for CA certificates",
+			Measured: fmt.Sprintf("%d of %d", s.IntermediateWithNeither, s.Intermediates),
+			OK:       ratio(s.IntermediateWithNeither, s.Intermediates) < 0.1,
+		},
+	}
+	return res
+}

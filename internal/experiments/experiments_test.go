@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+var (
+	runnerOnce sync.Once
+	runner     *Runner
+	runnerErr  error
+)
+
+// testRunner shares one small-scale world across all experiment tests.
+func testRunner(t *testing.T) *Runner {
+	t.Helper()
+	runnerOnce.Do(func() {
+		runner, runnerErr = New(workload.Config{Scale: 0.002, Seed: 42})
+	})
+	if runnerErr != nil {
+		t.Fatal(runnerErr)
+	}
+	return runner
+}
+
+// TestEveryExperimentMatchesPaperShape is the master fidelity check: every
+// regenerated table and figure must reproduce the paper's qualitative
+// shape (who wins, rough factors, crossovers).
+func TestEveryExperimentMatchesPaperShape(t *testing.T) {
+	r := testRunner(t)
+	results, err := r.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 22 {
+		t.Fatalf("experiments = %d, want 22", len(results))
+	}
+	seen := map[string]bool{}
+	for _, res := range results {
+		if seen[res.ID] {
+			t.Errorf("duplicate experiment ID %s", res.ID)
+		}
+		seen[res.ID] = true
+		if len(res.Findings) == 0 {
+			t.Errorf("%s: no findings", res.ID)
+		}
+		for _, f := range res.Findings {
+			if !f.OK {
+				t.Errorf("%s: shape mismatch: %s (paper %q, measured %q)", res.ID, f.Metric, f.Paper, f.Measured)
+			}
+		}
+	}
+	for _, id := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table1", "table2", "sec3", "sec4.3", "sec7.2", "ext-rfc6961", "ext-shortlived"} {
+		if !seen[id] {
+			t.Errorf("experiment %s missing", id)
+		}
+	}
+}
+
+func TestRenderOutput(t *testing.T) {
+	r := testRunner(t)
+	res := r.Figure2()
+	out := res.Render()
+	if !strings.Contains(out, "fig2") || !strings.Contains(out, "SHAPE-OK") {
+		t.Errorf("render output incomplete:\n%s", out)
+	}
+	if len(res.Rows) < 50 {
+		t.Errorf("fig2 rows = %d, want one per scan", len(res.Rows))
+	}
+	if !res.OK() {
+		t.Error("fig2 should be OK")
+	}
+}
+
+func TestFigure11Standalone(t *testing.T) {
+	// Figure 11 is analytic and must work without a world.
+	r := &Runner{Scale: 1}
+	res := r.Figure11()
+	if !res.OK() {
+		for _, f := range res.Findings {
+			if !f.OK {
+				t.Errorf("fig11: %s measured %s", f.Metric, f.Measured)
+			}
+		}
+	}
+	if len(res.Rows) != 10 {
+		t.Errorf("fig11 rows = %d", len(res.Rows))
+	}
+	// FPR decreases along each row (bigger filters) and increases down
+	// each column (more entries).
+	for _, row := range res.Rows {
+		var prev float64 = 2
+		for _, cell := range row[1:] {
+			var v float64
+			if _, err := sscan(cell, &v); err != nil {
+				t.Fatalf("bad cell %q", cell)
+			}
+			if v > prev {
+				t.Errorf("FPR should fall with filter size: row %v", row)
+			}
+			prev = v
+		}
+	}
+}
+
+func sscan(s string, v *float64) (int, error) {
+	return fmt.Sscanf(s, "%e", v)
+}

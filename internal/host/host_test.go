@@ -1,0 +1,207 @@
+package host
+
+import (
+	"crypto/tls"
+	"math/big"
+	"testing"
+	"time"
+
+	"repro/internal/ca"
+	"repro/internal/ocsp"
+	"repro/internal/simtime"
+	"repro/internal/x509x"
+)
+
+func newRecord() *ca.Record {
+	return &ca.Record{CAName: "T", Serial: big.NewInt(1)}
+}
+
+func TestHandshakeWithoutStapling(t *testing.T) {
+	clock := simtime.NewClock(simtime.Date(2015, time.March, 28))
+	h := New(Config{Addr: 1, Clock: clock.Now})
+	if res := h.Handshake(); res.Record != nil || res.StaplePresented {
+		t.Errorf("empty host handshake = %+v", res)
+	}
+	rec := newRecord()
+	h.SetRecord(rec)
+	res := h.Handshake()
+	if res.Record != rec || res.StaplePresented {
+		t.Errorf("non-stapling host = %+v", res)
+	}
+	if h.Record() != rec {
+		t.Error("Record accessor")
+	}
+	h.SetRecord(nil)
+	if h.Handshake().Record != nil {
+		t.Error("cleared record still advertised")
+	}
+}
+
+func TestStapleCacheWarm(t *testing.T) {
+	clock := simtime.NewClock(simtime.Date(2015, time.March, 28))
+	h := New(Config{Addr: 2, SupportsStapling: true, InitialFresh: true, Clock: clock.Now})
+	h.SetRecord(newRecord())
+	if !h.Handshake().StaplePresented {
+		t.Error("warm cache should staple")
+	}
+	// After the validity window the cache goes stale.
+	clock.Advance(25 * time.Hour)
+	if h.Handshake().StaplePresented {
+		t.Error("stale cache should not staple")
+	}
+}
+
+func TestStapleRefreshEventuallySucceeds(t *testing.T) {
+	clock := simtime.NewClock(simtime.Date(2015, time.March, 28))
+	h := New(Config{Addr: 3, SupportsStapling: true, RefreshProb: 0.5, Clock: clock.Now, Seed: 11})
+	h.SetRecord(newRecord())
+	sawStaple := false
+	for i := 0; i < 50; i++ {
+		if h.Handshake().StaplePresented {
+			sawStaple = true
+			break
+		}
+	}
+	if !sawStaple {
+		t.Error("staple never observed over 50 handshakes at RefreshProb 0.5")
+	}
+}
+
+func TestSingleRequestUnderestimatesStapling(t *testing.T) {
+	// The Figure 3 effect: over a population of stapling-capable
+	// servers, one request observes fewer staplers than ten requests.
+	clock := simtime.NewClock(simtime.Date(2015, time.March, 28))
+	const n = 2000
+	hosts := make([]*SimHost, n)
+	for i := range hosts {
+		hosts[i] = New(Config{
+			Addr:             uint32(i),
+			SupportsStapling: true,
+			InitialFresh:     i%5 != 0, // 80% warm, 20% cold
+			RefreshProb:      0.5,
+			Clock:            clock.Now,
+			Seed:             99,
+		})
+		hosts[i].SetRecord(newRecord())
+	}
+	observed := make(map[int]bool)
+	firstCount := 0
+	finalCount := 0
+	for req := 0; req < 10; req++ {
+		for i, h := range hosts {
+			if h.Handshake().StaplePresented {
+				observed[i] = true
+			}
+		}
+		if req == 0 {
+			firstCount = len(observed)
+		}
+	}
+	finalCount = len(observed)
+	firstFrac := float64(firstCount) / n
+	finalFrac := float64(finalCount) / n
+	if firstFrac < 0.7 || firstFrac > 0.9 {
+		t.Errorf("first-request observation %.3f, want ~0.8", firstFrac)
+	}
+	if finalFrac < 0.97 {
+		t.Errorf("ten-request observation %.3f, want near 1", finalFrac)
+	}
+	if finalFrac <= firstFrac {
+		t.Error("repeated requests should observe more stapling support")
+	}
+}
+
+func TestLiveServerStapling(t *testing.T) {
+	// Build a real chain and staple, then fetch it over a real TLS
+	// socket and confirm the staple arrives in the handshake.
+	clock := simtime.NewClock(simtime.Date(2015, time.March, 28))
+	authority, err := ca.NewRoot(ca.Config{
+		Name:         "Live CA",
+		CRLBaseURL:   "http://crl.live.test/crl",
+		OCSPBaseURL:  "http://ocsp.live.test/ocsp",
+		IncludeCRLDP: true,
+		IncludeOCSP:  true,
+		Clock:        clock.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leafKey, err := x509x.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, rec, err := authority.Issue(ca.IssueOptions{
+		CommonName: "live.example.test",
+		DNSNames:   []string{"live.example.test"},
+		NotBefore:  clock.Now().AddDate(0, -1, 0),
+		NotAfter:   clock.Now().AddDate(1, 0, 0),
+		PublicKey:  &leafKey.PublicKey,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	signerCert, signerKey := authority.Signer()
+	staple, err := ocsp.CreateResponse(&ocsp.ResponseTemplate{
+		ProducedAt: clock.Now(),
+		Responses: []ocsp.SingleResponse{{
+			ID:         ocsp.NewCertID(signerCert, rec.Serial),
+			Status:     ocsp.StatusGood,
+			ThisUpdate: clock.Now(),
+			NextUpdate: clock.Now().Add(96 * time.Hour),
+		}},
+	}, signerCert, signerKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := NewLiveServer(LiveConfig{
+		Chain:  [][]byte{cert.Raw},
+		Key:    leafKey,
+		Staple: staple,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := tls.Dial("tcp", srv.Addr(), &tls.Config{InsecureSkipVerify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := conn.ConnectionState()
+	conn.Close()
+	if len(state.PeerCertificates) != 1 {
+		t.Fatalf("peer certs = %d", len(state.PeerCertificates))
+	}
+	if state.PeerCertificates[0].SerialNumber.Cmp(rec.Serial) != 0 {
+		t.Error("served certificate mismatch")
+	}
+	if len(state.OCSPResponse) == 0 {
+		t.Fatal("no staple in handshake")
+	}
+	parsed, err := ocsp.ParseResponse(state.OCSPResponse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Responses[0].Status != ocsp.StatusGood {
+		t.Errorf("staple status = %v", parsed.Responses[0].Status)
+	}
+
+	// Clearing the staple removes it from subsequent handshakes.
+	srv.SetStaple(nil)
+	conn2, err := tls.Dial("tcp", srv.Addr(), &tls.Config{InsecureSkipVerify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	state2 := conn2.ConnectionState()
+	conn2.Close()
+	if len(state2.OCSPResponse) != 0 {
+		t.Error("staple still served after SetStaple(nil)")
+	}
+}
+
+func TestLiveServerNeedsChain(t *testing.T) {
+	if _, err := NewLiveServer(LiveConfig{}); err == nil {
+		t.Error("accepted empty chain")
+	}
+}

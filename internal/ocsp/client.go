@@ -1,0 +1,110 @@
+package ocsp
+
+import (
+	"bytes"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/internal/x509x"
+)
+
+// Transport selects how the client submits OCSP requests. Real browsers
+// mostly use GET (the paper had to patch OpenSSL's responder to support
+// it); POST is the original RFC mechanism.
+type Transport int
+
+// Transports.
+const (
+	TransportGET Transport = iota
+	TransportPOST
+)
+
+// Client queries OCSP responders over HTTP.
+type Client struct {
+	// HTTP is the underlying client; http.DefaultClient when nil.
+	HTTP *http.Client
+	// Transport selects GET or POST; default GET.
+	Transport Transport
+	// MaxResponseBytes caps the response body read (default 1 MiB).
+	MaxResponseBytes int64
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Check asks the responder at responderURL for the status of the
+// certificate with the given serial, issued by issuer. It verifies the
+// response signature against the issuer before returning it.
+func (c *Client) Check(responderURL string, issuer *x509x.Certificate, serial *big.Int) (SingleResponse, error) {
+	id := NewCertID(issuer, serial)
+	resp, err := c.Fetch(responderURL, &Request{IDs: []CertID{id}})
+	if err != nil {
+		return SingleResponse{}, err
+	}
+	if resp.RespStatus != RespSuccessful {
+		return SingleResponse{}, fmt.Errorf("ocsp: responder returned %v", resp.RespStatus)
+	}
+	if err := resp.VerifySignatureFrom(issuer); err != nil {
+		return SingleResponse{}, err
+	}
+	sr, ok := resp.Find(id)
+	if !ok {
+		return SingleResponse{}, errors.New("ocsp: response does not cover requested certificate")
+	}
+	return sr, nil
+}
+
+// Fetch submits the request and parses the response without verifying
+// signatures; callers wanting verification use Check or call
+// Response.VerifySignature themselves.
+func (c *Client) Fetch(responderURL string, req *Request) (*Response, error) {
+	reqDER := req.Marshal()
+	var httpResp *http.Response
+	var err error
+	encoded := base64.StdEncoding.EncodeToString(reqDER)
+	// RFC 5019 §5: GET only when the encoded request stays under 255
+	// bytes (cache- and proxy-friendliness); larger requests use POST.
+	usePOST := c.Transport == TransportPOST || len(encoded) > 255
+	if usePOST {
+		httpResp, err = c.httpClient().Post(responderURL, "application/ocsp-request", bytes.NewReader(reqDER))
+	} else {
+		u := strings.TrimSuffix(responderURL, "/") + "/" + url.PathEscape(encoded)
+		httpResp, err = c.httpClient().Get(u)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ocsp: fetch: %w", err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("ocsp: responder HTTP status %d", httpResp.StatusCode)
+	}
+	limit := c.MaxResponseBytes
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	body, err := io.ReadAll(io.LimitReader(httpResp.Body, limit))
+	if err != nil {
+		return nil, fmt.Errorf("ocsp: read response: %w", err)
+	}
+	return ParseResponse(body)
+}
+
+// ValidatedStatus is the common post-processing a checking client applies:
+// the single response must be current at now and must match the request.
+func ValidatedStatus(sr SingleResponse, now time.Time) (Status, error) {
+	if !sr.CurrentAt(now) {
+		return StatusUnknown, fmt.Errorf("ocsp: response not current at %v (window [%v, %v])", now, sr.ThisUpdate, sr.NextUpdate)
+	}
+	return sr.Status, nil
+}

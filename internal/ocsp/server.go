@@ -1,0 +1,138 @@
+package ocsp
+
+import (
+	"crypto/ecdsa"
+	"encoding/base64"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/internal/x509x"
+)
+
+// Source answers status queries for a responder. Implementations are
+// typically backed by a CA's revocation database.
+type Source interface {
+	// StatusFor returns the status of the certificate identified by id.
+	// Returning StatusUnknown is the correct behaviour for certificates
+	// the responder has never heard of.
+	StatusFor(id CertID) SingleResponse
+}
+
+// SourceFunc adapts a function to the Source interface.
+type SourceFunc func(id CertID) SingleResponse
+
+// StatusFor calls f(id).
+func (f SourceFunc) StatusFor(id CertID) SingleResponse { return f(id) }
+
+// Responder is an HTTP OCSP responder supporting both GET and POST
+// transports (RFC 6960 Appendix A).
+type Responder struct {
+	Source Source
+	// Signer is the certificate whose key signs responses — the issuing
+	// CA itself or a delegated OCSP-signing certificate.
+	Signer *x509x.Certificate
+	Key    *ecdsa.PrivateKey
+	// Now supplies the response production time; time.Now when nil.
+	// The simulation points this at the virtual clock.
+	Now func() time.Time
+	// Validity is how long responses remain valid (nextUpdate -
+	// thisUpdate). OCSP responses are typically valid for days — longer
+	// than most CRLs (§2.2). Zero means 4 days.
+	Validity time.Duration
+	// ForceStatus, when non-nil, overrides the Source for every query —
+	// used by the browser test suite to serve always-unknown responders.
+	ForceStatus *Status
+	// EchoNonce controls whether request nonces are reflected.
+	EchoNonce bool
+}
+
+func (r *Responder) now() time.Time {
+	if r.Now != nil {
+		return r.Now()
+	}
+	return time.Now()
+}
+
+func (r *Responder) validity() time.Duration {
+	if r.Validity > 0 {
+		return r.Validity
+	}
+	return 4 * 24 * time.Hour
+}
+
+// ServeHTTP implements http.Handler.
+func (r *Responder) ServeHTTP(w http.ResponseWriter, httpReq *http.Request) {
+	var reqDER []byte
+	switch httpReq.Method {
+	case http.MethodGet:
+		// The request is the URL-escaped base64 encoding of the DER
+		// request, appended to the responder URL (RFC 6960 A.1). The
+		// base64 alphabet includes '/', so the encoding may span what
+		// looks like multiple path segments; take the whole escaped
+		// path rather than the last segment.
+		seg := strings.TrimPrefix(httpReq.URL.EscapedPath(), "/")
+		unescaped, err := url.PathUnescape(seg)
+		if err != nil {
+			r.writeError(w, RespMalformedRequest)
+			return
+		}
+		reqDER, err = base64.StdEncoding.DecodeString(unescaped)
+		if err != nil {
+			r.writeError(w, RespMalformedRequest)
+			return
+		}
+	case http.MethodPost:
+		var err error
+		reqDER, err = io.ReadAll(io.LimitReader(httpReq.Body, 1<<20))
+		if err != nil {
+			r.writeError(w, RespInternalError)
+			return
+		}
+	default:
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+
+	req, err := ParseRequest(reqDER)
+	if err != nil || len(req.IDs) == 0 {
+		r.writeError(w, RespMalformedRequest)
+		return
+	}
+
+	now := r.now()
+	tmpl := &ResponseTemplate{ProducedAt: now}
+	if r.EchoNonce {
+		tmpl.Nonce = req.Nonce
+	}
+	for _, id := range req.IDs {
+		var sr SingleResponse
+		if r.ForceStatus != nil {
+			sr = SingleResponse{ID: id, Status: *r.ForceStatus}
+		} else {
+			sr = r.Source.StatusFor(id)
+			sr.ID = id
+		}
+		if sr.ThisUpdate.IsZero() {
+			sr.ThisUpdate = now
+		}
+		if sr.NextUpdate.IsZero() {
+			sr.NextUpdate = sr.ThisUpdate.Add(r.validity())
+		}
+		tmpl.Responses = append(tmpl.Responses, sr)
+	}
+	respDER, err := CreateResponse(tmpl, r.Signer, r.Key)
+	if err != nil {
+		r.writeError(w, RespInternalError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/ocsp-response")
+	w.Write(respDER)
+}
+
+func (r *Responder) writeError(w http.ResponseWriter, status ResponseStatus) {
+	w.Header().Set("Content-Type", "application/ocsp-response")
+	w.Write(CreateErrorResponse(status))
+}

@@ -1,0 +1,137 @@
+// Package revdb maintains the longitudinal revocation database the study
+// derives from its daily CRL crawls: for every (CRL URL, serial) pair it
+// keeps the revocation time, reason, and — crucially for the
+// vulnerability-window analysis of §7.3 — the first crawl day at which the
+// revocation was actually observable by a client.
+package revdb
+
+import (
+	"math/big"
+	"sync"
+	"time"
+
+	"repro/internal/crawler"
+	"repro/internal/crl"
+)
+
+// Entry is one revocation known to the database.
+type Entry struct {
+	CRLURL    string
+	Serial    *big.Int
+	RevokedAt time.Time
+	Reason    crl.Reason
+	// FirstSeen is the first crawl day whose CRL contained the entry.
+	FirstSeen time.Time
+	// LastSeen is the most recent crawl day whose CRL contained it; CAs
+	// drop entries once certificates expire.
+	LastSeen time.Time
+}
+
+func key(crlURL string, serial *big.Int) string {
+	return crlURL + "\x00" + string(serial.Bytes())
+}
+
+// DB is the revocation database. The zero value is unusable; use New.
+type DB struct {
+	mu      sync.Mutex
+	entries map[string]*Entry
+	order   []*Entry
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{entries: make(map[string]*Entry)}
+}
+
+// IngestSnapshot merges one crawl day into the database and returns how
+// many previously unseen revocations it contained (the "CRL Entries" line
+// of Figure 9).
+func (db *DB) IngestSnapshot(snap *crawler.Snapshot) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	added := 0
+	for url, c := range snap.CRLs {
+		for _, e := range c.Entries {
+			k := key(url, e.Serial)
+			if known, ok := db.entries[k]; ok {
+				known.LastSeen = snap.Day
+				continue
+			}
+			entry := &Entry{
+				CRLURL:    url,
+				Serial:    e.Serial,
+				RevokedAt: e.RevokedAt,
+				Reason:    e.Reason,
+				FirstSeen: snap.Day,
+				LastSeen:  snap.Day,
+			}
+			db.entries[k] = entry
+			db.order = append(db.order, entry)
+			added++
+		}
+	}
+	return added
+}
+
+// Lookup returns the entry for (crlURL, serial), if known.
+func (db *DB) Lookup(crlURL string, serial *big.Int) (*Entry, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	e, ok := db.entries[key(crlURL, serial)]
+	return e, ok
+}
+
+// RevokedAsOf reports whether the certificate was revoked with a
+// revocation time at or before t, as known to the database.
+func (db *DB) RevokedAsOf(crlURL string, serial *big.Int, t time.Time) bool {
+	e, ok := db.Lookup(crlURL, serial)
+	return ok && !e.RevokedAt.After(t)
+}
+
+// ObservedBy reports whether the revocation had been observed by a crawl
+// at or before t — what a CRL-checking client could actually have known.
+func (db *DB) ObservedBy(crlURL string, serial *big.Int, t time.Time) bool {
+	e, ok := db.Lookup(crlURL, serial)
+	return ok && !e.FirstSeen.After(t)
+}
+
+// Size returns the total number of known revocations.
+func (db *DB) Size() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.entries)
+}
+
+// Entries returns all revocations in first-seen order. The slice is a
+// copy; entries are shared.
+func (db *DB) Entries() []*Entry {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]*Entry, len(db.order))
+	copy(out, db.order)
+	return out
+}
+
+// EntriesByURL returns this database's revocations grouped by CRL URL.
+func (db *DB) EntriesByURL() map[string][]*Entry {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make(map[string][]*Entry)
+	for _, e := range db.order {
+		out[e.CRLURL] = append(out[e.CRLURL], e)
+	}
+	return out
+}
+
+// DailyAdditions buckets first-seen days and returns, for each day present,
+// the number of new revocations first observed that day.
+func (db *DB) DailyAdditions() map[time.Time]int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make(map[time.Time]int)
+	for _, e := range db.order {
+		day := e.FirstSeen.Truncate(24 * time.Hour)
+		out[day]++
+	}
+	return out
+}

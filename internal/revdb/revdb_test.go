@@ -1,0 +1,103 @@
+package revdb
+
+import (
+	"math/big"
+	"testing"
+	"time"
+
+	"repro/internal/crawler"
+	"repro/internal/crl"
+	"repro/internal/simtime"
+)
+
+func snap(day time.Time, url string, entries ...crl.Entry) *crawler.Snapshot {
+	return &crawler.Snapshot{
+		Day:  day,
+		CRLs: map[string]*crl.CRL{url: {Entries: entries}},
+	}
+}
+
+func TestIngestTracksFirstAndLastSeen(t *testing.T) {
+	db := New()
+	d0 := simtime.CrawlStart
+	url := "http://crl.test/0.crl"
+	revokedAt := d0.Add(-12 * time.Hour)
+
+	added := db.IngestSnapshot(snap(d0, url, crl.Entry{Serial: big.NewInt(5), RevokedAt: revokedAt, Reason: crl.ReasonKeyCompromise}))
+	if added != 1 || db.Size() != 1 {
+		t.Fatalf("added=%d size=%d", added, db.Size())
+	}
+	// Second day: same entry plus a new one.
+	d1 := d0.AddDate(0, 0, 1)
+	added = db.IngestSnapshot(snap(d1, url,
+		crl.Entry{Serial: big.NewInt(5), RevokedAt: revokedAt, Reason: crl.ReasonKeyCompromise},
+		crl.Entry{Serial: big.NewInt(6), RevokedAt: d1, Reason: crl.ReasonAbsent},
+	))
+	if added != 1 || db.Size() != 2 {
+		t.Fatalf("second ingest: added=%d size=%d", added, db.Size())
+	}
+	e, ok := db.Lookup(url, big.NewInt(5))
+	if !ok {
+		t.Fatal("lookup failed")
+	}
+	if !e.FirstSeen.Equal(d0) || !e.LastSeen.Equal(d1) {
+		t.Errorf("first/last = %v / %v", e.FirstSeen, e.LastSeen)
+	}
+	if e.Reason != crl.ReasonKeyCompromise {
+		t.Errorf("reason = %v", e.Reason)
+	}
+}
+
+func TestRevokedAsOfVsObservedBy(t *testing.T) {
+	db := New()
+	url := "http://crl.test/0.crl"
+	revokedAt := simtime.Date(2014, time.September, 1)
+	firstSeen := simtime.CrawlStart // October 2
+	db.IngestSnapshot(snap(firstSeen, url, crl.Entry{Serial: big.NewInt(9), RevokedAt: revokedAt}))
+
+	// Revoked in September, but a client could only observe it from
+	// October 2's crawl.
+	sep15 := simtime.Date(2014, time.September, 15)
+	if !db.RevokedAsOf(url, big.NewInt(9), sep15) {
+		t.Error("RevokedAsOf should use the revocation timestamp")
+	}
+	if db.ObservedBy(url, big.NewInt(9), sep15) {
+		t.Error("ObservedBy should use the crawl timestamp")
+	}
+	if !db.ObservedBy(url, big.NewInt(9), firstSeen) {
+		t.Error("observable on the first crawl day")
+	}
+	if db.RevokedAsOf(url, big.NewInt(9), revokedAt.Add(-time.Hour)) {
+		t.Error("not yet revoked before the revocation time")
+	}
+	if db.RevokedAsOf(url, big.NewInt(10), sep15) {
+		t.Error("unknown serial reported revoked")
+	}
+	// Same serial on a different CRL is a different entry.
+	if db.RevokedAsOf("http://other.test/0.crl", big.NewInt(9), sep15) {
+		t.Error("serial matched across CRL URLs")
+	}
+}
+
+func TestDailyAdditionsAndGrouping(t *testing.T) {
+	db := New()
+	url1, url2 := "http://crl.test/0.crl", "http://crl.test/1.crl"
+	d0 := simtime.CrawlStart
+	db.IngestSnapshot(snap(d0, url1,
+		crl.Entry{Serial: big.NewInt(1), RevokedAt: d0},
+		crl.Entry{Serial: big.NewInt(2), RevokedAt: d0},
+	))
+	db.IngestSnapshot(snap(d0.AddDate(0, 0, 1), url2, crl.Entry{Serial: big.NewInt(3), RevokedAt: d0}))
+
+	daily := db.DailyAdditions()
+	if daily[d0] != 2 || daily[d0.AddDate(0, 0, 1)] != 1 {
+		t.Errorf("daily additions = %v", daily)
+	}
+	byURL := db.EntriesByURL()
+	if len(byURL[url1]) != 2 || len(byURL[url2]) != 1 {
+		t.Errorf("by URL: %d / %d", len(byURL[url1]), len(byURL[url2]))
+	}
+	if len(db.Entries()) != 3 {
+		t.Errorf("entries = %d", len(db.Entries()))
+	}
+}

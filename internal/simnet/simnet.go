@@ -1,0 +1,191 @@
+// Package simnet provides a simulated internet for the measurement
+// pipeline: an in-process HTTP fabric that routes requests to registered
+// virtual hosts (CA CRL servers, OCSP responders) without sockets, plus a
+// latency/bandwidth cost model so experiments can account for what
+// revocation checking would cost real clients (§5).
+//
+// The fabric plugs into net/http as a RoundTripper, so the CRL crawler and
+// OCSP clients run the same code against the simulation as against the real
+// network; only the http.Client differs.
+package simnet
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+)
+
+// CostModel converts transfer sizes into client-perceived latency.
+type CostModel struct {
+	// RTT is the per-request round-trip overhead (connection + request).
+	RTT time.Duration
+	// Bandwidth is the downstream rate in bytes per second.
+	Bandwidth float64
+}
+
+// DefaultCostModel approximates a 2015 broadband client: 40 ms RTT and
+// 10 Mbit/s downstream. OCSP lookups land near the ~250 ms the paper
+// quotes once TCP and HTTP round trips are counted (§5.2).
+var DefaultCostModel = CostModel{RTT: 40 * time.Millisecond, Bandwidth: 10e6 / 8}
+
+// Cost returns the modelled time to fetch size bytes.
+func (m CostModel) Cost(size int) time.Duration {
+	if m.Bandwidth <= 0 {
+		return m.RTT
+	}
+	return m.RTT + time.Duration(float64(size)/m.Bandwidth*float64(time.Second))
+}
+
+// HostError describes a failure to reach a virtual host.
+type HostError struct {
+	Host string
+	Mode FailureMode
+}
+
+func (e *HostError) Error() string {
+	return fmt.Sprintf("simnet: host %q: %v", e.Host, e.Mode)
+}
+
+// FailureMode enumerates the injectable failures, matching the test-suite
+// dimensions of §6.1: non-existent DNS names, unresponsive servers, and
+// HTTP errors (the last is produced by handlers, not the fabric).
+type FailureMode int
+
+// Failure modes.
+const (
+	// FailNone means the host is reachable.
+	FailNone FailureMode = iota
+	// FailNXDomain simulates a DNS name that does not resolve.
+	FailNXDomain
+	// FailUnresponsive simulates a host that accepts nothing (client
+	// times out).
+	FailUnresponsive
+)
+
+func (m FailureMode) String() string {
+	switch m {
+	case FailNone:
+		return "reachable"
+	case FailNXDomain:
+		return "nxdomain"
+	case FailUnresponsive:
+		return "unresponsive"
+	default:
+		return fmt.Sprintf("failure(%d)", int(m))
+	}
+}
+
+// Stats aggregates transfer accounting.
+type Stats struct {
+	Requests      int
+	BytesReceived int64
+	// ModelledTime is the total client-perceived latency under the
+	// network's cost model.
+	ModelledTime time.Duration
+}
+
+// Network is the in-process HTTP fabric. It implements http.RoundTripper.
+type Network struct {
+	Cost CostModel
+
+	mu       sync.Mutex
+	handlers map[string]http.Handler
+	failures map[string]FailureMode
+	total    Stats
+	perHost  map[string]*Stats
+}
+
+// New returns an empty network with the default cost model.
+func New() *Network {
+	return &Network{
+		Cost:     DefaultCostModel,
+		handlers: make(map[string]http.Handler),
+		failures: make(map[string]FailureMode),
+		perHost:  make(map[string]*Stats),
+	}
+}
+
+// Register attaches a handler to a virtual host name ("crl.godaddy.test").
+// Registering a host again replaces its handler.
+func (n *Network) Register(host string, h http.Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handlers[host] = h
+}
+
+// SetFailure injects (or clears, with FailNone) a failure mode for host.
+func (n *Network) SetFailure(host string, mode FailureMode) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.failures[host] = mode
+}
+
+// Client returns an *http.Client routed through the fabric.
+func (n *Network) Client() *http.Client {
+	return &http.Client{Transport: n}
+}
+
+// RoundTrip implements http.RoundTripper by dispatching to the registered
+// handler for the request's host.
+func (n *Network) RoundTrip(req *http.Request) (*http.Response, error) {
+	host := req.URL.Hostname()
+	n.mu.Lock()
+	mode := n.failures[host]
+	handler, known := n.handlers[host]
+	n.mu.Unlock()
+
+	if mode != FailNone {
+		return nil, &HostError{Host: host, Mode: mode}
+	}
+	if !known {
+		return nil, &HostError{Host: host, Mode: FailNXDomain}
+	}
+
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, req)
+	resp := rec.Result()
+	resp.Request = req
+
+	size := rec.Body.Len()
+	n.mu.Lock()
+	n.total.Requests++
+	n.total.BytesReceived += int64(size)
+	n.total.ModelledTime += n.Cost.Cost(size)
+	hs := n.perHost[host]
+	if hs == nil {
+		hs = &Stats{}
+		n.perHost[host] = hs
+	}
+	hs.Requests++
+	hs.BytesReceived += int64(size)
+	hs.ModelledTime += n.Cost.Cost(size)
+	n.mu.Unlock()
+	return resp, nil
+}
+
+// TotalStats returns aggregate transfer statistics.
+func (n *Network) TotalStats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.total
+}
+
+// HostStats returns transfer statistics for one host.
+func (n *Network) HostStats(host string) Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if hs := n.perHost[host]; hs != nil {
+		return *hs
+	}
+	return Stats{}
+}
+
+// ResetStats zeroes all accounting.
+func (n *Network) ResetStats() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.total = Stats{}
+	n.perHost = make(map[string]*Stats)
+}

@@ -1,0 +1,146 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func helloHandler(body string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, body)
+	})
+}
+
+func TestRoutingByHost(t *testing.T) {
+	n := New()
+	n.Register("crl.a.test", helloHandler("alpha"))
+	n.Register("crl.b.test", helloHandler("beta"))
+	client := n.Client()
+
+	for host, want := range map[string]string{"crl.a.test": "alpha", "crl.b.test": "beta"} {
+		resp, err := client.Get("http://" + host + "/x.crl")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if string(body) != want {
+			t.Errorf("%s body = %q", host, body)
+		}
+	}
+}
+
+func TestUnknownHostIsNXDomain(t *testing.T) {
+	n := New()
+	_, err := n.Client().Get("http://nowhere.test/")
+	if err == nil {
+		t.Fatal("unknown host resolved")
+	}
+	var he *HostError
+	if !errors.As(err, &he) || he.Mode != FailNXDomain {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestFailureInjection(t *testing.T) {
+	n := New()
+	n.Register("ocsp.test", helloHandler("ok"))
+	n.SetFailure("ocsp.test", FailUnresponsive)
+	_, err := n.Client().Get("http://ocsp.test/")
+	var he *HostError
+	if !errors.As(err, &he) || he.Mode != FailUnresponsive {
+		t.Fatalf("error = %v", err)
+	}
+	n.SetFailure("ocsp.test", FailNone)
+	resp, err := n.Client().Get("http://ocsp.test/")
+	if err != nil {
+		t.Fatalf("after clearing failure: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestHandlerStatusCodesPassThrough(t *testing.T) {
+	n := New()
+	n.Register("crl.test", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.NotFound(w, r)
+	}))
+	resp, err := n.Client().Get("http://crl.test/missing.crl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	n := New()
+	n.Cost = CostModel{RTT: 100 * time.Millisecond, Bandwidth: 1000} // 1 KB/s
+	n.Register("big.test", helloHandler(string(make([]byte, 500))))
+	client := n.Client()
+	for i := 0; i < 3; i++ {
+		resp, err := client.Get("http://big.test/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	total := n.TotalStats()
+	if total.Requests != 3 || total.BytesReceived != 1500 {
+		t.Errorf("total = %+v", total)
+	}
+	// Each request: 100ms RTT + 500B at 1000 B/s = 600ms; three = 1.8s.
+	if total.ModelledTime != 1800*time.Millisecond {
+		t.Errorf("modelled time = %v", total.ModelledTime)
+	}
+	hs := n.HostStats("big.test")
+	if hs.Requests != 3 {
+		t.Errorf("host stats = %+v", hs)
+	}
+	if n.HostStats("other.test").Requests != 0 {
+		t.Error("phantom host stats")
+	}
+	n.ResetStats()
+	if n.TotalStats().Requests != 0 {
+		t.Error("ResetStats did not clear")
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	m := CostModel{RTT: 40 * time.Millisecond, Bandwidth: 1e6}
+	if got := m.Cost(0); got != 40*time.Millisecond {
+		t.Errorf("Cost(0) = %v", got)
+	}
+	if got := m.Cost(1e6); got != 1040*time.Millisecond {
+		t.Errorf("Cost(1MB) = %v", got)
+	}
+	free := CostModel{RTT: time.Second}
+	if free.Cost(1<<30) != time.Second {
+		t.Error("zero bandwidth should cost only RTT")
+	}
+	// The 76 MB Apple CRL (§5.2) takes over a minute at 10 Mbit/s.
+	if DefaultCostModel.Cost(76<<20) < time.Minute {
+		t.Error("76MB CRL should cost over a minute at default bandwidth")
+	}
+}
+
+func TestRegisterReplacesHandler(t *testing.T) {
+	n := New()
+	n.Register("x.test", helloHandler("one"))
+	n.Register("x.test", helloHandler("two"))
+	resp, err := n.Client().Get("http://x.test/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "two" {
+		t.Errorf("body = %q", body)
+	}
+}

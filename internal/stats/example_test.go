@@ -1,0 +1,22 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// The weighted CDF is how Figure 6 turns per-CRL sizes into the
+// per-certificate view: most CRLs are tiny, but most certificates point
+// at a huge one.
+func ExampleNewWeightedCDF() {
+	sizes := []float64{900, 76e6}     // a tiny CRL and Apple's 76 MB one
+	certs := []float64{10, 2_600_000} // certificates pointing at each
+	raw := stats.NewCDF(sizes)
+	weighted := stats.NewWeightedCDF(sizes, certs)
+	fmt.Printf("median CRL: %.0f bytes\n", raw.Median())
+	fmt.Printf("median certificate's CRL: %.0f bytes\n", weighted.Median())
+	// Output:
+	// median CRL: 900 bytes
+	// median certificate's CRL: 76000000 bytes
+}

@@ -1,0 +1,319 @@
+// Package stats provides the small statistics toolkit shared by every
+// experiment: empirical CDFs (raw and weighted), quantiles, histograms,
+// least-squares fits, and time series. All of the paper's figures are
+// CDFs, scatters, or time series, so these few primitives cover the whole
+// evaluation.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// CDF is an empirical cumulative distribution over float64 samples.
+// Construct with NewCDF or NewWeightedCDF; the zero value is an empty
+// distribution.
+type CDF struct {
+	// xs are sorted sample values; cum[i] is the total mass of samples
+	// xs[0..i]; total is the overall mass (cum of the last sample).
+	xs    []float64
+	cum   []float64
+	total float64
+}
+
+// NewCDF builds an unweighted empirical CDF from samples. The input slice
+// is not modified.
+func NewCDF(samples []float64) *CDF {
+	ws := make([]float64, len(samples))
+	for i := range ws {
+		ws[i] = 1
+	}
+	return NewWeightedCDF(samples, ws)
+}
+
+// NewWeightedCDF builds a weighted CDF: sample i carries mass ws[i].
+// The paper's Figure 6 "Weighted" line is exactly this — each CRL weighted
+// by the number of certificates pointing at it. NewWeightedCDF panics when
+// the slice lengths differ or a weight is negative, since both indicate a
+// caller bug rather than bad data.
+func NewWeightedCDF(samples, weights []float64) *CDF {
+	if len(samples) != len(weights) {
+		panic(fmt.Sprintf("stats: %d samples but %d weights", len(samples), len(weights)))
+	}
+	type pair struct{ x, w float64 }
+	pairs := make([]pair, 0, len(samples))
+	var total float64
+	for i, x := range samples {
+		w := weights[i]
+		if w < 0 || math.IsNaN(w) {
+			panic(fmt.Sprintf("stats: invalid weight %v", w))
+		}
+		if w == 0 {
+			continue
+		}
+		pairs = append(pairs, pair{x, w})
+		total += w
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].x < pairs[j].x })
+	c := &CDF{
+		xs:    make([]float64, len(pairs)),
+		cum:   make([]float64, len(pairs)),
+		total: total,
+	}
+	var run float64
+	for i, p := range pairs {
+		run += p.w
+		c.xs[i] = p.x
+		c.cum[i] = run
+	}
+	return c
+}
+
+// N returns the number of distinct (positive-weight) samples.
+func (c *CDF) N() int { return len(c.xs) }
+
+// Total returns the total mass.
+func (c *CDF) Total() float64 { return c.total }
+
+// At returns P(X <= x), the fraction of mass at or below x.
+func (c *CDF) At(x float64) float64 {
+	if c.total == 0 {
+		return 0
+	}
+	// Index of first sample > x.
+	i := sort.Search(len(c.xs), func(i int) bool { return c.xs[i] > x })
+	if i == 0 {
+		return 0
+	}
+	return c.cum[i-1] / c.total
+}
+
+// Quantile returns the smallest sample value v with P(X <= v) >= q.
+// q is clamped to [0, 1]. It panics on an empty distribution.
+func (c *CDF) Quantile(q float64) float64 {
+	if c.total == 0 {
+		panic("stats: Quantile of empty CDF")
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * c.total
+	i := sort.Search(len(c.cum), func(i int) bool { return c.cum[i] >= target })
+	if i >= len(c.xs) {
+		i = len(c.xs) - 1
+	}
+	return c.xs[i]
+}
+
+// Median returns Quantile(0.5).
+func (c *CDF) Median() float64 { return c.Quantile(0.5) }
+
+// Min returns the smallest sample. It panics on an empty distribution.
+func (c *CDF) Min() float64 {
+	if len(c.xs) == 0 {
+		panic("stats: Min of empty CDF")
+	}
+	return c.xs[0]
+}
+
+// Max returns the largest sample. It panics on an empty distribution.
+func (c *CDF) Max() float64 {
+	if len(c.xs) == 0 {
+		panic("stats: Max of empty CDF")
+	}
+	return c.xs[len(c.xs)-1]
+}
+
+// Mean returns the weighted mean of the distribution, or 0 when empty.
+func (c *CDF) Mean() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	var sum, prev float64
+	for i, x := range c.xs {
+		sum += x * (c.cum[i] - prev)
+		prev = c.cum[i]
+	}
+	return sum / c.total
+}
+
+// Point is one (x, y) coordinate of a plotted curve.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Points returns n evenly-spaced (by cumulative probability) points of the
+// CDF curve, suitable for printing a figure's series. For n <= 1 or an
+// empty distribution it returns nil.
+func (c *CDF) Points(n int) []Point {
+	if n <= 1 || c.total == 0 {
+		return nil
+	}
+	out := make([]Point, n)
+	for i := 0; i < n; i++ {
+		q := float64(i) / float64(n-1)
+		out[i] = Point{X: c.Quantile(q), Y: q}
+	}
+	return out
+}
+
+// Fit is a least-squares linear fit y = Slope*x + Intercept with its
+// coefficient of determination.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// LinearFit computes the ordinary least-squares fit through the points.
+// It panics when fewer than two points are supplied or the xs are all
+// identical (the fit is undefined).
+func LinearFit(pts []Point) Fit {
+	if len(pts) < 2 {
+		panic("stats: LinearFit needs at least two points")
+	}
+	var sx, sy float64
+	for _, p := range pts {
+		sx += p.X
+		sy += p.Y
+	}
+	n := float64(len(pts))
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for _, p := range pts {
+		dx, dy := p.X-mx, p.Y-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		panic("stats: LinearFit with constant x")
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+	r2 := 1.0
+	if syy > 0 {
+		var ssRes float64
+		for _, p := range pts {
+			r := p.Y - (slope*p.X + intercept)
+			ssRes += r * r
+		}
+		r2 = 1 - ssRes/syy
+	}
+	return Fit{Slope: slope, Intercept: intercept, R2: r2}
+}
+
+// Sample is one observation of a time series.
+type Sample struct {
+	Time  time.Time
+	Value float64
+}
+
+// TimeSeries is an append-only ordered sequence of timestamped values —
+// the representation behind Figures 2, 8, and 9.
+type TimeSeries struct {
+	Name    string
+	samples []Sample
+}
+
+// NewTimeSeries returns an empty named series.
+func NewTimeSeries(name string) *TimeSeries { return &TimeSeries{Name: name} }
+
+// Add appends an observation. Observations must be appended in
+// non-decreasing time order; Add panics otherwise.
+func (ts *TimeSeries) Add(t time.Time, v float64) {
+	if n := len(ts.samples); n > 0 && t.Before(ts.samples[n-1].Time) {
+		panic(fmt.Sprintf("stats: out-of-order sample %v for series %q", t, ts.Name))
+	}
+	ts.samples = append(ts.samples, Sample{Time: t, Value: v})
+}
+
+// Len returns the number of observations.
+func (ts *TimeSeries) Len() int { return len(ts.samples) }
+
+// Samples returns the observations in time order. The returned slice is
+// owned by the series and must not be modified.
+func (ts *TimeSeries) Samples() []Sample { return ts.samples }
+
+// At returns the value of the most recent observation at or before t, and
+// whether one exists.
+func (ts *TimeSeries) At(t time.Time) (float64, bool) {
+	i := sort.Search(len(ts.samples), func(i int) bool { return ts.samples[i].Time.After(t) })
+	if i == 0 {
+		return 0, false
+	}
+	return ts.samples[i-1].Value, true
+}
+
+// MaxValue returns the largest observed value and its time; ok is false for
+// an empty series.
+func (ts *TimeSeries) MaxValue() (v float64, at time.Time, ok bool) {
+	for i, s := range ts.samples {
+		if i == 0 || s.Value > v {
+			v, at = s.Value, s.Time
+		}
+	}
+	return v, at, len(ts.samples) > 0
+}
+
+// Last returns the final observation; ok is false for an empty series.
+func (ts *TimeSeries) Last() (Sample, bool) {
+	if len(ts.samples) == 0 {
+		return Sample{}, false
+	}
+	return ts.samples[len(ts.samples)-1], true
+}
+
+// Histogram counts occurrences in fixed-width buckets covering [lo, hi).
+// Values outside the range are clamped into the first or last bucket.
+type Histogram struct {
+	lo, hi float64
+	counts []int
+	n      int
+}
+
+// NewHistogram creates a histogram with the given bucket count. It panics
+// for a non-positive bucket count or an empty range.
+func NewHistogram(lo, hi float64, buckets int) *Histogram {
+	if buckets <= 0 || hi <= lo {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{lo: lo, hi: hi, counts: make([]int, buckets)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := int((v - h.lo) / (h.hi - h.lo) * float64(len(h.counts)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	h.counts[i]++
+	h.n++
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int { return h.n }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) int { return h.counts[i] }
+
+// Buckets returns the number of buckets.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// Fraction reports the fraction of observations falling in bucket i, or 0
+// when the histogram is empty.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.counts[i]) / float64(h.n)
+}

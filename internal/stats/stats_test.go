@@ -1,0 +1,274 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestCDFBasic(t *testing.T) {
+	c := NewCDF([]float64{3, 1, 2, 4, 5})
+	if c.N() != 5 || c.Total() != 5 {
+		t.Fatalf("N=%d Total=%v", c.N(), c.Total())
+	}
+	if c.Min() != 1 || c.Max() != 5 {
+		t.Fatalf("Min=%v Max=%v", c.Min(), c.Max())
+	}
+	if got := c.Median(); got != 3 {
+		t.Errorf("Median = %v, want 3", got)
+	}
+	if got := c.At(2.5); !approx(got, 0.4, 1e-12) {
+		t.Errorf("At(2.5) = %v, want 0.4", got)
+	}
+	if got := c.At(0); got != 0 {
+		t.Errorf("At(0) = %v, want 0", got)
+	}
+	if got := c.At(100); got != 1 {
+		t.Errorf("At(100) = %v, want 1", got)
+	}
+	if got := c.Mean(); !approx(got, 3, 1e-12) {
+		t.Errorf("Mean = %v, want 3", got)
+	}
+}
+
+func TestCDFQuantileClamping(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30})
+	if c.Quantile(-0.5) != 10 {
+		t.Error("Quantile below 0 should clamp to min")
+	}
+	if c.Quantile(2) != 30 {
+		t.Error("Quantile above 1 should clamp to max")
+	}
+}
+
+func TestWeightedCDF(t *testing.T) {
+	// One tiny CRL serving 1 cert, one huge CRL serving 99 certs — the
+	// Figure 6 situation: raw median small, weighted median large.
+	raw := NewCDF([]float64{1, 1000})
+	weighted := NewWeightedCDF([]float64{1, 1000}, []float64{1, 99})
+	if raw.Median() != 1 {
+		t.Errorf("raw median = %v", raw.Median())
+	}
+	if weighted.Median() != 1000 {
+		t.Errorf("weighted median = %v, want 1000", weighted.Median())
+	}
+	if got := weighted.At(1); !approx(got, 0.01, 1e-12) {
+		t.Errorf("weighted At(1) = %v, want 0.01", got)
+	}
+}
+
+func TestWeightedCDFZeroWeightsDropped(t *testing.T) {
+	c := NewWeightedCDF([]float64{1, 2, 3}, []float64{1, 0, 1})
+	if c.N() != 2 || c.Total() != 2 {
+		t.Fatalf("N=%d Total=%v, want 2/2", c.N(), c.Total())
+	}
+}
+
+func TestCDFPanics(t *testing.T) {
+	mustPanic(t, "mismatched", func() { NewWeightedCDF([]float64{1}, nil) })
+	mustPanic(t, "negative weight", func() { NewWeightedCDF([]float64{1}, []float64{-1}) })
+	mustPanic(t, "NaN weight", func() { NewWeightedCDF([]float64{1}, []float64{math.NaN()}) })
+	empty := NewCDF(nil)
+	mustPanic(t, "empty quantile", func() { empty.Quantile(0.5) })
+	mustPanic(t, "empty min", func() { empty.Min() })
+	mustPanic(t, "empty max", func() { empty.Max() })
+	if empty.At(1) != 0 || empty.Mean() != 0 {
+		t.Error("empty CDF At/Mean should be 0")
+	}
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	pts := c.Points(5)
+	if len(pts) != 5 {
+		t.Fatalf("Points(5) len = %d", len(pts))
+	}
+	if pts[0].Y != 0 || pts[4].Y != 1 {
+		t.Errorf("endpoint probabilities %v %v", pts[0].Y, pts[4].Y)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X < pts[i-1].X {
+			t.Errorf("Points not monotone at %d", i)
+		}
+	}
+	if c.Points(1) != nil || c.Points(0) != nil {
+		t.Error("Points(<=1) should be nil")
+	}
+	if NewCDF(nil).Points(10) != nil {
+		t.Error("empty CDF Points should be nil")
+	}
+}
+
+// Property: for any sample set, At(Quantile(q)) >= q.
+func TestCDFQuantileAtProperty(t *testing.T) {
+	f := func(vals []float64, qRaw uint8) bool {
+		clean := vals[:0:0]
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		c := NewCDF(clean)
+		q := float64(qRaw) / 255
+		return c.At(c.Quantile(q))+1e-9 >= q
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the CDF is monotone non-decreasing.
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(vals []float64, a, b float64) bool {
+		clean := vals[:0:0]
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, v)
+			}
+		}
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		c := NewCDF(clean)
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return c.At(lo) <= c.At(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	pts := []Point{{0, 1}, {1, 3}, {2, 5}, {3, 7}}
+	fit := LinearFit(pts)
+	if !approx(fit.Slope, 2, 1e-12) || !approx(fit.Intercept, 1, 1e-12) {
+		t.Fatalf("fit = %+v, want slope 2 intercept 1", fit)
+	}
+	if !approx(fit.R2, 1, 1e-12) {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	// CRLs at ~38 bytes/entry with some fixed overhead and noise, as in
+	// Figure 5.
+	var pts []Point
+	for i := 0; i < 500; i++ {
+		n := float64(rng.Intn(100000) + 1)
+		size := 38*n + 600 + rng.NormFloat64()*50
+		pts = append(pts, Point{X: n, Y: size})
+	}
+	fit := LinearFit(pts)
+	if !approx(fit.Slope, 38, 0.5) {
+		t.Errorf("slope = %v, want ~38", fit.Slope)
+	}
+	if fit.R2 < 0.999 {
+		t.Errorf("R2 = %v, want near 1", fit.R2)
+	}
+}
+
+func TestLinearFitPanics(t *testing.T) {
+	mustPanic(t, "one point", func() { LinearFit([]Point{{1, 1}}) })
+	mustPanic(t, "constant x", func() { LinearFit([]Point{{1, 1}, {1, 2}}) })
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := NewTimeSeries("fresh-revoked")
+	base := time.Date(2014, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 10; i++ {
+		ts.Add(base.AddDate(0, 0, i), float64(i)*0.01)
+	}
+	if ts.Len() != 10 {
+		t.Fatalf("Len = %d", ts.Len())
+	}
+	if v, ok := ts.At(base.AddDate(0, 0, 5)); !ok || v != 0.05 {
+		t.Errorf("At(+5d) = %v, %v", v, ok)
+	}
+	// Between samples: latest at-or-before wins.
+	if v, ok := ts.At(base.AddDate(0, 0, 5).Add(12 * time.Hour)); !ok || v != 0.05 {
+		t.Errorf("At(+5.5d) = %v, %v", v, ok)
+	}
+	if _, ok := ts.At(base.Add(-time.Hour)); ok {
+		t.Error("At before first sample should report !ok")
+	}
+	last, ok := ts.Last()
+	if !ok || last.Value != 0.09 {
+		t.Errorf("Last = %+v, %v", last, ok)
+	}
+	v, at, ok := ts.MaxValue()
+	if !ok || v != 0.09 || !at.Equal(base.AddDate(0, 0, 9)) {
+		t.Errorf("MaxValue = %v @ %v", v, at)
+	}
+}
+
+func TestTimeSeriesOrderEnforced(t *testing.T) {
+	ts := NewTimeSeries("x")
+	now := time.Now()
+	ts.Add(now, 1)
+	ts.Add(now, 2) // equal time allowed
+	mustPanic(t, "out of order", func() { ts.Add(now.Add(-time.Second), 3) })
+}
+
+func TestEmptyTimeSeries(t *testing.T) {
+	ts := NewTimeSeries("empty")
+	if _, ok := ts.Last(); ok {
+		t.Error("Last on empty should be !ok")
+	}
+	if _, _, ok := ts.MaxValue(); ok {
+		t.Error("MaxValue on empty should be !ok")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Observe(float64(i) + 0.5)
+	}
+	h.Observe(-5) // clamps to first bucket
+	h.Observe(50) // clamps to last bucket
+	if h.Count() != 12 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Bucket(0) != 2 || h.Bucket(9) != 2 {
+		t.Errorf("clamped buckets: first=%d last=%d", h.Bucket(0), h.Bucket(9))
+	}
+	if got := h.Fraction(5); !approx(got, 1.0/12, 1e-12) {
+		t.Errorf("Fraction(5) = %v", got)
+	}
+	if h.Buckets() != 10 {
+		t.Errorf("Buckets = %d", h.Buckets())
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	mustPanic(t, "zero buckets", func() { NewHistogram(0, 1, 0) })
+	mustPanic(t, "empty range", func() { NewHistogram(1, 1, 5) })
+}
+
+func TestEmptyHistogramFraction(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	if h.Fraction(0) != 0 {
+		t.Error("empty histogram Fraction should be 0")
+	}
+}

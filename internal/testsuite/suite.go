@@ -1,0 +1,411 @@
+// Package testsuite implements the paper's browser test suite (§6.1–6.2):
+// a generated battery of certificate-chain configurations — chain lengths
+// of 0–3 intermediates, CRL/OCSP/both revocation pointers, EV and DV
+// leaves, revoked elements at every chain position, four kinds of
+// unavailable revocation infrastructure, and OCSP-stapling scenarios —
+// each served by dedicated per-test endpoints, plus a runner that
+// evaluates browser profiles against every case and renders the Table 2
+// matrix.
+//
+// Where the paper gave each test a unique DNS name served by a dedicated
+// Nginx instance, this suite gives each test's CAs unique virtual hosts on
+// a simnet fabric; the checking client performs the same HTTP fetches
+// either way.
+package testsuite
+
+import (
+	"crypto/ecdsa"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/ca"
+	"repro/internal/crl"
+	"repro/internal/ocsp"
+	"repro/internal/simnet"
+	"repro/internal/simtime"
+	"repro/internal/x509x"
+)
+
+// Protocol selects which revocation pointers the chain's certificates
+// carry.
+type Protocol int
+
+// Protocols.
+const (
+	ProtoCRL Protocol = iota
+	ProtoOCSP
+	ProtoBoth
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case ProtoCRL:
+		return "crl"
+	case ProtoOCSP:
+		return "ocsp"
+	case ProtoBoth:
+		return "both"
+	default:
+		return "?"
+	}
+}
+
+// Condition is what the test does to the chain.
+type Condition int
+
+// Conditions.
+const (
+	// CondGood leaves everything valid.
+	CondGood Condition = iota
+	// CondRevoked revokes the target element.
+	CondRevoked
+	// CondUnavailable makes the target element's revocation
+	// infrastructure unreachable (per Failure).
+	CondUnavailable
+	// CondUnknownStatus makes the target's OCSP responder answer
+	// "unknown".
+	CondUnknownStatus
+	// CondFallbackRevoked revokes the target on a both-protocol chain
+	// and breaks its OCSP responder, so only CRL fallback can catch it.
+	CondFallbackRevoked
+	// CondStaple serves a staple (per Staple) with the leaf's OCSP
+	// responder firewalled.
+	CondStaple
+)
+
+func (c Condition) String() string {
+	switch c {
+	case CondGood:
+		return "good"
+	case CondRevoked:
+		return "revoked"
+	case CondUnavailable:
+		return "unavailable"
+	case CondUnknownStatus:
+		return "unknown-status"
+	case CondFallbackRevoked:
+		return "fallback-revoked"
+	case CondStaple:
+		return "staple"
+	default:
+		return "?"
+	}
+}
+
+// Failure enumerates the paper's unavailability modes (§6.1): the
+// revocation server's DNS name does not exist, the server returns HTTP
+// 404, or the server does not respond.
+type Failure int
+
+// Failures.
+const (
+	FailNXDomain Failure = iota
+	FailHTTP404
+	FailUnresponsive
+)
+
+func (f Failure) String() string {
+	return [...]string{"nxdomain", "http404", "unresponsive"}[f]
+}
+
+// Case is one test configuration.
+type Case struct {
+	ID            string
+	Intermediates int // 0..3
+	Protocol      Protocol
+	EV            bool
+	Condition     Condition
+	// Target is the chain index affected (0 = leaf, 1 = first
+	// intermediate, ...); -1 when no element is targeted.
+	Target  int
+	Failure Failure
+	// StapleStatus applies to CondStaple cases.
+	StapleStatus ocsp.Status
+}
+
+// Generate enumerates the full suite.
+func Generate() []*Case {
+	var cases []*Case
+	add := func(c *Case) {
+		c.ID = caseID(c)
+		cases = append(cases, c)
+	}
+	lengths := []int{0, 1, 2, 3}
+	protos := []Protocol{ProtoCRL, ProtoOCSP, ProtoBoth}
+	evs := []bool{false, true}
+
+	// Baseline: everything good.
+	for _, l := range lengths {
+		for _, p := range protos {
+			for _, ev := range evs {
+				add(&Case{Intermediates: l, Protocol: p, EV: ev, Condition: CondGood, Target: -1})
+			}
+		}
+	}
+	// Revoked element at every position.
+	for _, l := range lengths {
+		for target := 0; target <= l; target++ {
+			for _, p := range protos {
+				for _, ev := range evs {
+					add(&Case{Intermediates: l, Protocol: p, EV: ev, Condition: CondRevoked, Target: target})
+				}
+			}
+		}
+	}
+	// Unavailable revocation infrastructure, three failure modes, for
+	// single-protocol chains.
+	for _, l := range lengths {
+		for target := 0; target <= l; target++ {
+			for _, p := range []Protocol{ProtoCRL, ProtoOCSP} {
+				for _, f := range []Failure{FailNXDomain, FailHTTP404, FailUnresponsive} {
+					for _, ev := range evs {
+						add(&Case{Intermediates: l, Protocol: p, EV: ev, Condition: CondUnavailable, Target: target, Failure: f})
+					}
+				}
+			}
+		}
+	}
+	// OCSP responders answering "unknown".
+	for _, l := range lengths {
+		for target := 0; target <= l; target++ {
+			for _, ev := range evs {
+				add(&Case{Intermediates: l, Protocol: ProtoOCSP, EV: ev, Condition: CondUnknownStatus, Target: target})
+			}
+		}
+	}
+	// CRL fallback: both-protocol chains, OCSP dead, element revoked.
+	for _, l := range lengths {
+		for target := 0; target <= l; target++ {
+			for _, ev := range evs {
+				add(&Case{Intermediates: l, Protocol: ProtoBoth, EV: ev, Condition: CondFallbackRevoked, Target: target, Failure: FailUnresponsive})
+			}
+		}
+	}
+	// Stapling: good/revoked/unknown staples with the responder
+	// firewalled, on a one-intermediate chain.
+	for _, st := range []ocsp.Status{ocsp.StatusGood, ocsp.StatusRevoked, ocsp.StatusUnknown} {
+		for _, ev := range evs {
+			add(&Case{Intermediates: 1, Protocol: ProtoOCSP, EV: ev, Condition: CondStaple, Target: 0, StapleStatus: st})
+		}
+	}
+	return cases
+}
+
+func caseID(c *Case) string {
+	id := fmt.Sprintf("%s-%dint-%s", c.Protocol, c.Intermediates, c.Condition)
+	if c.Target >= 0 {
+		id += fmt.Sprintf("-t%d", c.Target)
+	}
+	if c.Condition == CondUnavailable {
+		id += "-" + c.Failure.String()
+	}
+	if c.Condition == CondStaple {
+		id += "-" + c.StapleStatus.String()
+	}
+	if c.EV {
+		id += "-ev"
+	}
+	return id
+}
+
+// Env is one built test case: the chain to present and the staple (if
+// any), wired into the suite's network fabric.
+type Env struct {
+	Case   *Case
+	Chain  []*x509x.Certificate // leaf-first, ending at the root
+	Staple []byte
+}
+
+// Suite is a fully built test battery.
+type Suite struct {
+	Cases []*Case
+	Envs  map[string]*Env // by case ID
+	Net   *simnet.Network
+	Clock *simtime.Clock
+}
+
+// Build constructs the PKI and network for every case. A single leaf key
+// is shared across cases (key material is irrelevant to revocation
+// behaviour and generating hundreds is pure waste).
+func Build(cases []*Case) (*Suite, error) {
+	clock := simtime.NewClock(simtime.Date(2015, time.March, 1))
+	s := &Suite{
+		Cases: cases,
+		Envs:  make(map[string]*Env, len(cases)),
+		Net:   simnet.New(),
+		Clock: clock,
+	}
+	leafKey, err := x509x.GenerateKey()
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cases {
+		env, err := s.buildCase(i, c, leafKey)
+		if err != nil {
+			return nil, fmt.Errorf("testsuite: case %s: %w", c.ID, err)
+		}
+		s.Envs[c.ID] = env
+	}
+	return s, nil
+}
+
+func (s *Suite) buildCase(idx int, c *Case, leafKey *ecdsa.PrivateKey) (*Env, error) {
+	includeCRL := c.Protocol == ProtoCRL || c.Protocol == ProtoBoth
+	includeOCSP := c.Protocol == ProtoOCSP || c.Protocol == ProtoBoth
+
+	crlHost := func(level int) string { return fmt.Sprintf("crl.c%03d-l%d.test", idx, level) }
+	ocspHost := func(level int) string { return fmt.Sprintf("ocsp.c%03d-l%d.test", idx, level) }
+
+	newCfg := func(level int) ca.Config {
+		return ca.Config{
+			Name:         fmt.Sprintf("Case %d Level %d", idx, level),
+			Subject:      x509x.Name{CommonName: fmt.Sprintf("Test CA c%03d l%d", idx, level)},
+			CRLBaseURL:   "http://" + crlHost(level) + "/crl",
+			OCSPBaseURL:  "http://" + ocspHost(level) + "/ocsp",
+			IncludeCRLDP: includeCRL,
+			IncludeOCSP:  includeOCSP,
+			Clock:        s.Clock.Now,
+			Seed:         int64(idx),
+		}
+	}
+
+	// Authorities: level 0 is the root; levels 1..Intermediates are the
+	// intermediate CAs; the last authority issues the leaf.
+	authorities := make([]*ca.CA, 0, c.Intermediates+1)
+	root, err := ca.NewRoot(newCfg(0))
+	if err != nil {
+		return nil, err
+	}
+	authorities = append(authorities, root)
+	for level := 1; level <= c.Intermediates; level++ {
+		inter, err := ca.NewIntermediate(newCfg(level), authorities[level-1])
+		if err != nil {
+			return nil, err
+		}
+		authorities = append(authorities, inter)
+	}
+	for level, authority := range authorities {
+		s.Net.Register(crlHost(level), authority.Handler())
+		s.Net.Register(ocspHost(level), authority.Handler())
+	}
+
+	issuing := authorities[len(authorities)-1]
+	leafCert, leafRec, err := issuing.Issue(ca.IssueOptions{
+		CommonName: fmt.Sprintf("c%03d.site.test", idx),
+		NotBefore:  s.Clock.Now().AddDate(0, -1, 0),
+		NotAfter:   s.Clock.Now().AddDate(1, 0, 0),
+		EV:         c.EV,
+		PublicKey:  &leafKey.PublicKey,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Chain leaf-first: leaf, last intermediate, ..., root.
+	chainCerts := []*x509x.Certificate{leafCert}
+	for level := len(authorities) - 1; level >= 0; level-- {
+		chainCerts = append(chainCerts, authorities[level].Certificate())
+	}
+
+	env := &Env{Case: c, Chain: chainCerts}
+
+	// The issuer of chain element e and that element's serial: element 0
+	// (leaf) is issued by the last authority; element j >= 1 is
+	// authorities[len-j]'s certificate, issued by authorities[len-j-1].
+	elementIssuer := func(e int) *ca.CA {
+		if e == 0 {
+			return issuing
+		}
+		return authorities[len(authorities)-1-e]
+	}
+	elementSerial := func(e int) *x509x.Certificate {
+		return chainCerts[e]
+	}
+	// The hostnames serving element e's revocation data belong to its
+	// issuing authority's level.
+	elementLevel := func(e int) int {
+		if e == 0 {
+			return len(authorities) - 1
+		}
+		return len(authorities) - 1 - e
+	}
+
+	switch c.Condition {
+	case CondGood:
+		// nothing
+
+	case CondRevoked:
+		issuer := elementIssuer(c.Target)
+		if err := issuer.Revoke(elementSerial(c.Target).SerialNumber, s.Clock.Now(), crl.ReasonKeyCompromise); err != nil {
+			return nil, err
+		}
+
+	case CondUnavailable:
+		level := elementLevel(c.Target)
+		var hosts []string
+		if c.Protocol == ProtoCRL {
+			hosts = []string{crlHost(level)}
+		} else {
+			hosts = []string{ocspHost(level)}
+		}
+		for _, h := range hosts {
+			switch c.Failure {
+			case FailNXDomain:
+				s.Net.SetFailure(h, simnet.FailNXDomain)
+			case FailUnresponsive:
+				s.Net.SetFailure(h, simnet.FailUnresponsive)
+			case FailHTTP404:
+				s.Net.Register(h, http.NotFoundHandler())
+			}
+		}
+
+	case CondUnknownStatus:
+		issuer := elementIssuer(c.Target)
+		signer, key := issuer.Signer()
+		unknown := ocsp.StatusUnknown
+		s.Net.Register(ocspHost(elementLevel(c.Target)), http.StripPrefix("/ocsp", &ocsp.Responder{
+			Source:      ocsp.SourceFunc(func(ocsp.CertID) ocsp.SingleResponse { return ocsp.SingleResponse{} }),
+			Signer:      signer,
+			Key:         key,
+			Now:         s.Clock.Now,
+			ForceStatus: &unknown,
+		}))
+
+	case CondFallbackRevoked:
+		issuer := elementIssuer(c.Target)
+		if err := issuer.Revoke(elementSerial(c.Target).SerialNumber, s.Clock.Now(), crl.ReasonKeyCompromise); err != nil {
+			return nil, err
+		}
+		s.Net.SetFailure(ocspHost(elementLevel(c.Target)), simnet.FailUnresponsive)
+
+	case CondStaple:
+		// Build the staple (leaf status per spec) and firewall the
+		// leaf's responder so the staple is the only source (§6.1
+		// footnote 15).
+		signer, key := issuing.Signer()
+		sr := ocsp.SingleResponse{
+			ID:         ocsp.NewCertID(signer, leafRec.Serial),
+			Status:     c.StapleStatus,
+			ThisUpdate: s.Clock.Now(),
+			NextUpdate: s.Clock.Now().Add(96 * time.Hour),
+		}
+		if c.StapleStatus == ocsp.StatusRevoked {
+			sr.RevokedAt = s.Clock.Now().Add(-time.Hour)
+			sr.Reason = crl.ReasonKeyCompromise
+			if err := issuing.Revoke(leafRec.Serial, sr.RevokedAt, crl.ReasonKeyCompromise); err != nil {
+				return nil, err
+			}
+		}
+		staple, err := ocsp.CreateResponse(&ocsp.ResponseTemplate{
+			ProducedAt: s.Clock.Now(),
+			Responses:  []ocsp.SingleResponse{sr},
+		}, signer, key)
+		if err != nil {
+			return nil, err
+		}
+		env.Staple = staple
+		s.Net.SetFailure(ocspHost(elementLevel(0)), simnet.FailUnresponsive)
+	}
+	return env, nil
+}

@@ -1,0 +1,490 @@
+package workload
+
+import (
+	"time"
+
+	"repro/internal/ca"
+	"repro/internal/crawler"
+	"repro/internal/crlset"
+	"repro/internal/ocsp"
+	"repro/internal/simtime"
+)
+
+// RevokedFractions is the Figure 2 data: per observation instant, the
+// fraction of fresh and alive certificates that have been revoked, for the
+// whole population and for EV only.
+type RevokedFractions struct {
+	Times    []time.Time
+	FreshAll []float64
+	FreshEV  []float64
+	AliveAll []float64
+	AliveEV  []float64
+}
+
+// certIndex maps issuance records back to simulation state.
+func (w *World) certIndex() map[*ca.Record]*CertState {
+	idx := make(map[*ca.Record]*CertState, len(w.Certs))
+	for _, cs := range w.Certs {
+		idx[cs.Rec] = cs
+	}
+	return idx
+}
+
+// RevokedFractionSeries evaluates the Figure 2 fractions at every scan in
+// the corpus. The population is the observed Leaf Set — certificates seen
+// in at least one scan — exactly as the paper defines it (§3.3).
+func (w *World) RevokedFractionSeries() RevokedFractions {
+	idx := w.certIndex()
+	histories := w.Corpus.Histories()
+	out := RevokedFractions{}
+	for _, t := range w.Corpus.Scans() {
+		var fresh, freshRev, freshEV, freshEVRev int
+		var alive, aliveRev, aliveEV, aliveEVRev int
+		for _, h := range histories {
+			cs := idx[h.Record]
+			revoked := cs != nil && cs.Revoked && !cs.RevokedAt.After(t)
+			if h.Record.FreshAt(t) {
+				fresh++
+				if revoked {
+					freshRev++
+				}
+				if h.Record.EV {
+					freshEV++
+					if revoked {
+						freshEVRev++
+					}
+				}
+			}
+			if h.AliveAt(t) {
+				alive++
+				if revoked {
+					aliveRev++
+				}
+				if h.Record.EV {
+					aliveEV++
+					if revoked {
+						aliveEVRev++
+					}
+				}
+			}
+		}
+		out.Times = append(out.Times, t)
+		out.FreshAll = append(out.FreshAll, frac(freshRev, fresh))
+		out.FreshEV = append(out.FreshEV, frac(freshEVRev, freshEV))
+		out.AliveAll = append(out.AliveAll, frac(aliveRev, alive))
+		out.AliveEV = append(out.AliveEV, frac(aliveEVRev, aliveEV))
+	}
+	return out
+}
+
+func frac(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// At returns the series values at the observation closest to (at or
+// before) t; ok is false before the first observation.
+func (rf *RevokedFractions) At(t time.Time) (freshAll, aliveAll float64, ok bool) {
+	last := -1
+	for i, ti := range rf.Times {
+		if ti.After(t) {
+			break
+		}
+		last = i
+	}
+	if last < 0 {
+		return 0, 0, false
+	}
+	return rf.FreshAll[last], rf.AliveAll[last], true
+}
+
+// ShardStat describes one CRL at the end of the study.
+type ShardStat struct {
+	CAName        string
+	URL           string
+	Entries       int
+	SizeBytes     int
+	CertsPointing int
+}
+
+// CRLStats builds every CA's CRLs at the current clock and reports their
+// exact DER sizes and per-certificate weights — the inputs to Figures 5
+// and 6 and Table 1.
+func (w *World) CRLStats() ([]ShardStat, error) {
+	pointing := make(map[string]int)
+	for _, cs := range w.Certs {
+		if cs.Rec.HasCRLDP {
+			pointing[cs.Rec.CRLURL]++
+		}
+	}
+	var stats []ShardStat
+	for _, authority := range w.Authorities {
+		now := w.Clock.Now()
+		for shard := 0; shard < authority.Profile.CRLShards; shard++ {
+			raw, err := authority.CA.CRLBytes(shard)
+			if err != nil {
+				return nil, err
+			}
+			url := authority.CA.CRLURL(shard)
+			stats = append(stats, ShardStat{
+				CAName:        authority.Profile.Name,
+				URL:           url,
+				Entries:       len(authority.CA.CRLEntries(shard, now)),
+				SizeBytes:     len(raw),
+				CertsPointing: pointing[url],
+			})
+		}
+	}
+	return stats, nil
+}
+
+// CAStat is one Table 1 row.
+type CAStat struct {
+	Name         string
+	CRLs         int
+	TotalCerts   int
+	RevokedCerts int
+	// AvgCRLBytesPerCert is the mean, over this CA's certificates, of
+	// the size of the CRL the certificate points at.
+	AvgCRLBytesPerCert float64
+}
+
+// Table1 aggregates CRLStats into the paper's Table 1 rows.
+func (w *World) Table1() ([]CAStat, error) {
+	stats, err := w.CRLStats()
+	if err != nil {
+		return nil, err
+	}
+	byURL := make(map[string]ShardStat, len(stats))
+	for _, s := range stats {
+		byURL[s.URL] = s
+	}
+	var out []CAStat
+	for _, authority := range w.Authorities {
+		row := CAStat{
+			Name:         authority.Profile.Name,
+			CRLs:         authority.Profile.CRLShards,
+			TotalCerts:   authority.CA.Issued(),
+			RevokedCerts: len(authority.CA.Revocations()),
+		}
+		var weighted float64
+		var n int
+		for shard := 0; shard < authority.Profile.CRLShards; shard++ {
+			s := byURL[authority.CA.CRLURL(shard)]
+			weighted += float64(s.SizeBytes) * float64(s.CertsPointing)
+			n += s.CertsPointing
+		}
+		if n > 0 {
+			row.AvgCRLBytesPerCert = weighted / float64(n)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// AdoptionPoint is one Figure 4 sample: of certificates issued in Month,
+// the fraction carrying CRL and OCSP pointers.
+type AdoptionPoint struct {
+	Month    string
+	N        int
+	CRLFrac  float64
+	OCSPFrac float64
+}
+
+// AdoptionByMonth computes the Figure 4 series over web certificates.
+func (w *World) AdoptionByMonth() []AdoptionPoint {
+	type agg struct{ n, crl, ocsp int }
+	byMonth := make(map[string]*agg)
+	for _, cs := range w.Certs {
+		if !cs.Authority.Profile.WebCA() {
+			continue
+		}
+		key := simtime.MonthKey(cs.Rec.NotBefore)
+		a := byMonth[key]
+		if a == nil {
+			a = &agg{}
+			byMonth[key] = a
+		}
+		a.n++
+		if cs.Rec.HasCRLDP {
+			a.crl++
+		}
+		if cs.Rec.HasOCSP {
+			a.ocsp++
+		}
+	}
+	var out []AdoptionPoint
+	for _, m := range simtime.Months(w.Cfg.HistoricalFrom, w.Cfg.End) {
+		a := byMonth[m]
+		if a == nil || a.n == 0 {
+			continue
+		}
+		out = append(out, AdoptionPoint{
+			Month:    m,
+			N:        a.n,
+			CRLFrac:  float64(a.crl) / float64(a.n),
+			OCSPFrac: float64(a.ocsp) / float64(a.n),
+		})
+	}
+	return out
+}
+
+// StaplingStats is the §4.3 deployment snapshot, computed from the final
+// scan.
+type StaplingStats struct {
+	Servers         int
+	ServersStapling int
+	Certs           int
+	CertsAtLeastOne int
+	CertsAll        int
+	EVCerts         int
+	EVAtLeastOne    int
+	EVAll           int
+}
+
+// StaplingDeployment aggregates the last scan's staple observations.
+func (w *World) StaplingDeployment() StaplingStats {
+	var st StaplingStats
+	for _, h := range w.Corpus.LastScanAdvertisements() {
+		s := h.Sightings[len(h.Sightings)-1]
+		if !h.Record.FreshAt(s.Scan) {
+			continue // §4.3 counts fresh certificates
+		}
+		st.Servers += s.Hosts
+		st.ServersStapling += s.StapledHosts
+		st.Certs++
+		if s.StapledHosts > 0 {
+			st.CertsAtLeastOne++
+		}
+		if s.StapledHosts == s.Hosts && s.Hosts > 0 {
+			st.CertsAll++
+		}
+		if h.Record.EV {
+			st.EVCerts++
+			if s.StapledHosts > 0 {
+				st.EVAtLeastOne++
+			}
+			if s.StapledHosts == s.Hosts && s.Hosts > 0 {
+				st.EVAll++
+			}
+		}
+	}
+	return st
+}
+
+// StaplingObservation reproduces Figure 3: sample hosts, connect
+// `requests` times to each, and report — for each request count — the
+// fraction of eventual staplers already observed. The first element is
+// what a single-scan measurement would see.
+func (w *World) StaplingObservation(sample, requests int) []float64 {
+	var hosts []int
+	for i, h := range w.Hosts {
+		if h.Record() != nil && h.SupportsStapling {
+			hosts = append(hosts, i)
+		}
+	}
+	if sample > 0 && sample < len(hosts) {
+		w.rng.Shuffle(len(hosts), func(i, j int) { hosts[i], hosts[j] = hosts[j], hosts[i] })
+		hosts = hosts[:sample]
+	}
+	if len(hosts) == 0 {
+		return nil
+	}
+	observed := make([]bool, len(hosts))
+	counts := make([]int, requests)
+	seen := 0
+	for r := 0; r < requests; r++ {
+		for i, hi := range hosts {
+			if observed[i] {
+				continue
+			}
+			if w.Hosts[hi].Handshake().StaplePresented {
+				observed[i] = true
+				seen++
+			}
+		}
+		counts[r] = seen
+	}
+	out := make([]float64, requests)
+	for r := range counts {
+		out[r] = float64(counts[r]) / float64(len(hosts))
+	}
+	return out
+}
+
+// VulnWindows is the Figure 10 data.
+type VulnWindows struct {
+	// DaysToAppear: per covered revocation, days from revocation until
+	// it first appeared in a CRLSet.
+	DaysToAppear []float64
+	// RemovalToExpiry: per evicted revocation, days between its CRLSet
+	// removal and the certificate's expiry.
+	RemovalToExpiry []float64
+}
+
+// VulnerabilityWindows scans the CRLSet timeline for every revoked
+// certificate.
+func (w *World) VulnerabilityWindows() VulnWindows {
+	var out VulnWindows
+	for _, cs := range w.Certs {
+		if !cs.Revoked {
+			continue
+		}
+		parent := cs.Authority.Parent
+		first, ok := w.Timeline.FirstAppearance(parent, cs.Rec.Serial)
+		if !ok {
+			continue
+		}
+		days := first.Sub(cs.RevokedAt).Hours() / 24
+		if days < 0 {
+			days = 0
+		}
+		out.DaysToAppear = append(out.DaysToAppear, days)
+		if removed, ok := w.Timeline.RemovalTime(parent, cs.Rec.Serial); ok {
+			if gap := cs.Rec.NotAfter.Sub(removed).Hours() / 24; gap > 0 {
+				out.RemovalToExpiry = append(out.RemovalToExpiry, gap)
+			}
+		}
+	}
+	return out
+}
+
+// CoverageNow analyzes the latest CRLSet against the complete CRL
+// universe (public and private).
+func (w *World) CoverageNow() crlset.Coverage {
+	if w.lastSet == nil {
+		return crlset.Coverage{}
+	}
+	return crlset.AnalyzeCoverage(w.lastSet, w.Sources(w.Clock.Now()))
+}
+
+// AlexaCoverage reports CRLSet coverage restricted to popular sites
+// (§7.2: 3.9% of Alexa-1M revocations, 10.4% of top-1k).
+func (w *World) AlexaCoverage() (top1M, top1MCovered, top1k, top1kCovered int) {
+	if w.lastSet == nil {
+		return 0, 0, 0, 0
+	}
+	for _, cs := range w.Certs {
+		if !cs.Revoked || !cs.Authority.Profile.WebCA() {
+			continue
+		}
+		covered := w.lastSet.Covers(cs.Authority.Parent, cs.Rec.Serial)
+		if cs.Popular {
+			top1M++
+			if covered {
+				top1MCovered++
+			}
+		}
+		if cs.PopularTop {
+			top1k++
+			if covered {
+				top1kCovered++
+			}
+		}
+	}
+	return
+}
+
+// OCSPOnlyStatus is the §3.2 data-collection step for certificates that
+// carry only an OCSP responder (642 in the paper): querying each one's
+// responder directly, since no CRL can be crawled for them.
+type OCSPOnlyStatus struct {
+	Targets int
+	Good    int
+	Revoked int
+	Unknown int
+	Errors  int
+}
+
+// CheckOCSPOnly queries the responder for every fresh OCSP-only leaf
+// certificate through the world's fabric.
+func (w *World) CheckOCSPOnly() OCSPOnlyStatus {
+	cr := &crawler.Crawler{Client: w.Net.Client(), Now: w.Clock.Now}
+	var targets []crawler.OCSPTarget
+	now := w.Clock.Now()
+	for _, cs := range w.Certs {
+		if !cs.Rec.HasOCSP || cs.Rec.HasCRLDP || !cs.Rec.FreshAt(now) || !cs.Authority.Profile.WebCA() {
+			continue
+		}
+		targets = append(targets, crawler.OCSPTarget{
+			ResponderURL: cs.Rec.OCSPURL,
+			Issuer:       cs.Authority.CA.Certificate(),
+			Serial:       cs.Rec.Serial,
+		})
+	}
+	out := OCSPOnlyStatus{Targets: len(targets)}
+	for _, res := range cr.CheckOCSPOnly(targets) {
+		switch {
+		case res.Err != nil:
+			out.Errors++
+		case res.Response.Status == ocsp.StatusGood:
+			out.Good++
+		case res.Response.Status == ocsp.StatusRevoked:
+			out.Revoked++
+		default:
+			out.Unknown++
+		}
+	}
+	return out
+}
+
+// RevocationReasons tallies reason codes over all revocations (§4.2: the
+// majority carry no reason code).
+func (w *World) RevocationReasons() map[string]int {
+	out := make(map[string]int)
+	for _, authority := range w.Authorities {
+		for _, rev := range authority.CA.Revocations() {
+			out[rev.Reason.String()]++
+		}
+	}
+	return out
+}
+
+// LeafSetSummary reports the §3 dataset shape: observed certificates,
+// how many carry CRL/OCSP/no pointers, and how many were advertised in
+// the latest scan, plus the Intermediate Set's pointer profile.
+type LeafSetSummary struct {
+	Observed         int
+	WithCRL          int
+	WithOCSP         int
+	WithNeither      int
+	AdvertisedLatest int
+
+	Intermediates           int
+	IntermediateWithCRL     int
+	IntermediateWithOCSP    int
+	IntermediateWithNeither int
+}
+
+// Summary computes the dataset overview.
+func (w *World) Summary() LeafSetSummary {
+	var s LeafSetSummary
+	for _, h := range w.Corpus.Histories() {
+		s.Observed++
+		if h.Record.HasCRLDP {
+			s.WithCRL++
+		}
+		if h.Record.HasOCSP {
+			s.WithOCSP++
+		}
+		if !h.Record.HasCRLDP && !h.Record.HasOCSP {
+			s.WithNeither++
+		}
+	}
+	s.AdvertisedLatest = len(w.Corpus.LastScanAdvertisements())
+	for _, rec := range w.Intermediates {
+		s.Intermediates++
+		if rec.HasCRLDP {
+			s.IntermediateWithCRL++
+		}
+		if rec.HasOCSP {
+			s.IntermediateWithOCSP++
+		}
+		if !rec.HasCRLDP && !rec.HasOCSP {
+			s.IntermediateWithNeither++
+		}
+	}
+	return s
+}

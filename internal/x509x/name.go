@@ -1,0 +1,127 @@
+package x509x
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"repro/internal/der"
+)
+
+// Name is an X.501 distinguished name restricted to the attributes the
+// study's PKI uses. Attributes are encoded in the conventional order
+// C, O, OU, CN, each in its own RDN.
+type Name struct {
+	Country            string
+	Organization       string
+	OrganizationalUnit string
+	CommonName         string
+}
+
+// String renders the name in RFC 2253-ish display order (most specific
+// first), e.g. "CN=GoDaddy Secure CA, O=GoDaddy Inc, C=US".
+func (n Name) String() string {
+	var parts []string
+	if n.CommonName != "" {
+		parts = append(parts, "CN="+n.CommonName)
+	}
+	if n.OrganizationalUnit != "" {
+		parts = append(parts, "OU="+n.OrganizationalUnit)
+	}
+	if n.Organization != "" {
+		parts = append(parts, "O="+n.Organization)
+	}
+	if n.Country != "" {
+		parts = append(parts, "C="+n.Country)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// IsZero reports whether no attribute is set.
+func (n Name) IsZero() bool { return n == Name{} }
+
+// attrString chooses PrintableString when the value fits its character
+// set (required for interop with strict parsers for country codes), and
+// UTF8String otherwise.
+func attrString(s string) []byte {
+	if isPrintable(s) {
+		return der.PrintableString(s)
+	}
+	return der.UTF8String(s)
+}
+
+func isPrintable(s string) bool {
+	for _, r := range s {
+		switch {
+		case 'a' <= r && r <= 'z', 'A' <= r && r <= 'Z', '0' <= r && r <= '9':
+		case strings.ContainsRune(" '()+,-./:=?", r):
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Encode renders the name as a DER RDNSequence.
+func (n Name) Encode() []byte {
+	var rdns [][]byte
+	add := func(oid der.OID, val string) {
+		if val == "" {
+			return
+		}
+		atv := der.Sequence(der.EncodeOID(oid), attrString(val))
+		rdns = append(rdns, der.Set(atv))
+	}
+	add(OIDAttrCountry, n.Country)
+	add(OIDAttrOrganization, n.Organization)
+	add(OIDAttrOrganizationUnit, n.OrganizationalUnit)
+	add(OIDAttrCommonName, n.CommonName)
+	return der.Sequence(rdns...)
+}
+
+// ParseName decodes a DER RDNSequence, ignoring attribute types this
+// codebase does not model.
+func ParseName(v der.Value) (Name, error) {
+	rdns, err := v.Sequence()
+	if err != nil {
+		return Name{}, fmt.Errorf("x509x: name: %v", err)
+	}
+	var n Name
+	for _, rdn := range rdns {
+		atvs, err := rdn.SetChildren()
+		if err != nil {
+			return Name{}, fmt.Errorf("x509x: RDN: %v", err)
+		}
+		for _, atv := range atvs {
+			fields, err := atv.Sequence()
+			if err != nil || len(fields) != 2 {
+				return Name{}, fmt.Errorf("x509x: AttributeTypeAndValue: %v", err)
+			}
+			oid, err := fields[0].OID()
+			if err != nil {
+				return Name{}, fmt.Errorf("x509x: attribute type: %v", err)
+			}
+			val, err := fields[1].DecodeString()
+			if err != nil {
+				// Unmodeled string types (T61String etc.): skip.
+				continue
+			}
+			switch {
+			case oid.Equal(OIDAttrCountry):
+				n.Country = val
+			case oid.Equal(OIDAttrOrganization):
+				n.Organization = val
+			case oid.Equal(OIDAttrOrganizationUnit):
+				n.OrganizationalUnit = val
+			case oid.Equal(OIDAttrCommonName):
+				n.CommonName = val
+			}
+		}
+	}
+	return n, nil
+}
+
+// NamesEqual reports whether two encoded names are byte-identical — the
+// comparison chain building uses (RFC 5280 §7.1 byte matching, as modern
+// implementations do).
+func NamesEqual(a, b []byte) bool { return bytes.Equal(a, b) }
