@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: check vet build test race bench-smoke bench
+
+# check is the full pre-merge gate: static checks, a race-enabled test
+# run, and a one-iteration smoke of the end-to-end world-build benchmark.
+check: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench-smoke builds one world end to end under the benchmark harness —
+# enough to catch pipeline regressions without paying for stable timings.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=BenchmarkWorldBuild -benchtime=1x .
+
+# bench runs the full harness with memory stats (slow).
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem ./...

@@ -69,6 +69,12 @@ type Config struct {
 	// DropExpiredFromCRL removes entries for expired certificates from
 	// freshly generated CRLs, as real CAs do.
 	DropExpiredFromCRL bool
+	// ReuseUnchangedCRL caches each shard's encoded CRL and serves the
+	// cached DER for as long as the shard's revocation set is unchanged,
+	// skipping the ECDSA re-sign. The reused CRL keeps its original
+	// thisUpdate/nextUpdate, so only enable this for consumers that do
+	// not enforce CRL freshness (the simulation's crawler pipeline).
+	ReuseUnchangedCRL bool
 	// DelegatedOCSP, when set, has the CA issue a dedicated
 	// OCSP-signing certificate (id-kp-OCSPSigning EKU, RFC 6960
 	// §4.2.2.2) and sign responses with it instead of the CA key.
@@ -141,8 +147,19 @@ type CA struct {
 	revokedSeq     []*Revocation
 	revokedByShard map[int][]*Revocation
 	nextShard      int
-	crlNumber      int64
-	shardWeights   []float64 // cumulative, when ShardSkew > 0
+	// crlNumbers holds one monotonically increasing CRL number per
+	// shard. RFC 5280 requires monotonicity per distribution point, not
+	// per CA, and per-shard counters keep CRL bytes independent of the
+	// order in which concurrent consumers fetch different shards.
+	crlNumbers []int64
+	// shardSeq counts revocations landing in each shard; together with
+	// the entry cache's time window it detects shard-content changes
+	// without walking the revocation list.
+	shardSeq     []int64
+	shardEnts    []shardEntCache
+	crlDER       map[int]*crlDEREntry
+	crlURLs      []string
+	shardWeights []float64 // cumulative, when ShardSkew > 0
 
 	// delegate is the lazily issued OCSP-signing certificate.
 	delegate    *x509x.Certificate
@@ -166,7 +183,7 @@ func NewIntermediate(cfg Config, parent *CA) (*CA, error) {
 
 func newCA(cfg Config, parent *CA) (*CA, error) {
 	cfg.fillDefaults()
-	key, err := x509x.GenerateKey()
+	key, err := x509x.PooledKey()
 	if err != nil {
 		return nil, fmt.Errorf("ca: keygen: %v", err)
 	}
@@ -215,6 +232,14 @@ func newCA(cfg Config, parent *CA) (*CA, error) {
 		issued:         make(map[string]*Record),
 		revoked:        make(map[string]*Revocation),
 		revokedByShard: make(map[int][]*Revocation),
+		crlNumbers:     make([]int64, cfg.NumCRLShards),
+		shardSeq:       make([]int64, cfg.NumCRLShards),
+		shardEnts:      make([]shardEntCache, cfg.NumCRLShards),
+		crlDER:         make(map[int]*crlDEREntry),
+		crlURLs:        make([]string, cfg.NumCRLShards),
+	}
+	for i := range authority.crlURLs {
+		authority.crlURLs[i] = fmt.Sprintf("%s/%d.crl", cfg.CRLBaseURL, i)
 	}
 	if cfg.ShardSkew > 0 && cfg.NumCRLShards > 1 {
 		weights := make([]float64, cfg.NumCRLShards)
@@ -263,6 +288,9 @@ func (ca *CA) NumShards() int { return ca.cfg.NumCRLShards }
 
 // CRLURL returns the distribution-point URL of shard i.
 func (ca *CA) CRLURL(shard int) string {
+	if shard >= 0 && shard < len(ca.crlURLs) {
+		return ca.crlURLs[shard]
+	}
 	return fmt.Sprintf("%s/%d.crl", ca.cfg.CRLBaseURL, shard)
 }
 
@@ -345,7 +373,7 @@ func (ca *CA) newSerialLocked() *big.Int {
 func (ca *CA) Issue(opts IssueOptions) (*x509x.Certificate, *Record, error) {
 	pub := opts.PublicKey
 	if pub == nil {
-		key, err := x509x.GenerateKey()
+		key, err := x509x.PooledKey()
 		if err != nil {
 			return nil, nil, err
 		}
@@ -396,6 +424,7 @@ func (ca *CA) Revoke(serial *big.Int, at time.Time, reason crl.Reason) error {
 	ca.revoked[key] = rev
 	ca.revokedSeq = append(ca.revokedSeq, rev)
 	ca.revokedByShard[rec.Shard] = append(ca.revokedByShard[rec.Shard], rev)
+	ca.shardSeq[rec.Shard]++
 	return nil
 }
 
@@ -448,38 +477,108 @@ func (ca *CA) ShardPopulation() []int {
 
 // CRLEntries returns the entries that belong on shard's CRL at time now.
 func (ca *CA) CRLEntries(shard int, now time.Time) []crl.Entry {
-	ca.mu.Lock()
-	defer ca.mu.Unlock()
-	var entries []crl.Entry
-	for _, rev := range ca.revokedByShard[shard] {
-		if rev.At.After(now) {
-			continue // not yet revoked in simulated time
-		}
-		if ca.cfg.DropExpiredFromCRL && rev.Record.NotAfter.Before(now) {
-			continue
-		}
-		entries = append(entries, crl.Entry{Serial: rev.Serial, RevokedAt: rev.At, Reason: rev.Reason})
-	}
+	entries, _ := ca.crlEntries(shard, now)
 	return entries
 }
 
-// CRLBytes builds and signs the current CRL for shard.
+// shardEntCache memoizes one shard's entry list together with the window
+// of simulated time over which it is valid: the set only changes when a
+// revocation lands in the shard (shardSeq), when a future-dated
+// revocation activates, or — with DropExpiredFromCRL — when an included
+// certificate expires. The window bounds the latter two exactly, so daily
+// re-reads of an unchanged shard are O(1).
+type shardEntCache struct {
+	seq  int64
+	gen  int64 // rebuild counter; 0 means never built
+	from time.Time
+	// until is the earliest future boundary (activation or expiry) at
+	// which the cached set may change; zero when there is none.
+	until   time.Time
+	entries []crl.Entry
+}
+
+// crlEntries returns the shard's entry list at time now plus the cache
+// generation it came from (a new generation per rebuild). The returned
+// slice is shared across callers and must not be mutated.
+func (ca *CA) crlEntries(shard int, now time.Time) ([]crl.Entry, int64) {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	st := &ca.shardEnts[shard]
+	if st.gen != 0 && st.seq == ca.shardSeq[shard] &&
+		!now.Before(st.from) && (st.until.IsZero() || now.Before(st.until)) {
+		return st.entries, st.gen
+	}
+	var until time.Time
+	tighten := func(t time.Time) {
+		if t.After(now) && (until.IsZero() || t.Before(until)) {
+			until = t
+		}
+	}
+	entries := make([]crl.Entry, 0, len(ca.revokedByShard[shard]))
+	for _, rev := range ca.revokedByShard[shard] {
+		if rev.At.After(now) {
+			tighten(rev.At) // not yet revoked in simulated time
+			continue
+		}
+		if ca.cfg.DropExpiredFromCRL {
+			if rev.Record.NotAfter.Before(now) {
+				continue
+			}
+			tighten(rev.Record.NotAfter)
+		}
+		entries = append(entries, crl.Entry{Serial: rev.Serial, RevokedAt: rev.At, Reason: rev.Reason})
+	}
+	st.seq = ca.shardSeq[shard]
+	st.gen++
+	st.from = now
+	st.until = until
+	st.entries = entries
+	return entries, st.gen
+}
+
+// crlDEREntry caches one shard's encoded CRL, keyed by the entry-cache
+// generation it was built from.
+type crlDEREntry struct {
+	gen  int64
+	body []byte
+}
+
+// CRLBytes builds and signs the current CRL for shard. With
+// ReuseUnchangedCRL configured, the previously encoded DER is returned
+// as long as the shard's revocation set is unchanged; callers must not
+// mutate the returned slice.
 func (ca *CA) CRLBytes(shard int) ([]byte, error) {
 	if shard < 0 || shard >= ca.cfg.NumCRLShards {
 		return nil, fmt.Errorf("ca %s: no CRL shard %d", ca.cfg.Name, shard)
 	}
 	now := ca.now()
-	entries := ca.CRLEntries(shard, now)
+	entries, gen := ca.crlEntries(shard, now)
+	if ca.cfg.ReuseUnchangedCRL {
+		ca.mu.Lock()
+		if e, ok := ca.crlDER[shard]; ok && e.gen == gen {
+			body := e.body
+			ca.mu.Unlock()
+			return body, nil
+		}
+		ca.mu.Unlock()
+	}
 	ca.mu.Lock()
-	ca.crlNumber++
-	number := ca.crlNumber
+	ca.crlNumbers[shard]++
+	number := ca.crlNumbers[shard]
 	ca.mu.Unlock()
-	return crl.Create(&crl.Template{
+	body, err := crl.Create(&crl.Template{
 		ThisUpdate: now,
 		NextUpdate: now.Add(ca.cfg.CRLValidity),
 		Number:     big.NewInt(number),
 		Entries:    entries,
 	}, ca.cert, ca.key)
+	if err != nil || !ca.cfg.ReuseUnchangedCRL {
+		return body, err
+	}
+	ca.mu.Lock()
+	ca.crlDER[shard] = &crlDEREntry{gen: gen, body: body}
+	ca.mu.Unlock()
+	return body, nil
 }
 
 // OCSPSource returns an ocsp.Source answering for this CA's certificates.
@@ -543,7 +642,7 @@ func (ca *CA) ocspDelegate() (*x509x.Certificate, *ecdsa.PrivateKey, error) {
 	}
 	ca.mu.Unlock()
 
-	key, err := x509x.GenerateKey()
+	key, err := x509x.PooledKey()
 	if err != nil {
 		return nil, nil, err
 	}

@@ -9,6 +9,7 @@
 package crawler
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"io"
 	"math/big"
@@ -48,6 +49,26 @@ type Crawler struct {
 	// Parallelism bounds concurrent downloads (the paper's crawler hit
 	// 2,800 CRLs per day). 1 when zero or negative.
 	Parallelism int
+
+	// cacheMu guards the content-addressed parse cache: most CRLs are
+	// unchanged from one daily crawl to the next, so an identical body
+	// is returned as the identical *crl.CRL without re-parsing or
+	// re-verifying. Pointer identity across snapshots is part of the
+	// contract — downstream delta ingestion relies on it.
+	cacheMu    sync.Mutex
+	parseCache map[[sha256.Size]byte]*parsedCRL
+	// ParseCacheHits counts fetches served from the parse cache. It is
+	// updated under the crawler's internal lock; read it only between
+	// crawls.
+	ParseCacheHits int64
+}
+
+// parsedCRL is one parse-cache slot. verifiedBy records the issuer
+// certificate the body's signature was last checked against, so a cached
+// body is never reused to satisfy a stricter verification requirement.
+type parsedCRL struct {
+	crl        *crl.CRL
+	verifiedBy *x509x.Certificate
 }
 
 func (c *Crawler) client() *http.Client {
@@ -129,19 +150,41 @@ func (c *Crawler) fetchOne(u string) (*crl.CRL, int64, error) {
 	if limit <= 0 {
 		limit = 128 << 20
 	}
-	body, err := io.ReadAll(io.LimitReader(resp.Body, limit))
-	if err != nil {
+	var body []byte
+	if n := resp.ContentLength; n > 0 && n <= limit {
+		// Presize the read: CRLs run to tens of megabytes, and letting
+		// io.ReadAll grow its buffer doubles the copy traffic.
+		body = make([]byte, n)
+		if m, err := io.ReadFull(resp.Body, body); err != nil {
+			return nil, int64(m), fmt.Errorf("crawler: %s: read: %w", u, err)
+		}
+	} else if body, err = io.ReadAll(io.LimitReader(resp.Body, limit)); err != nil {
 		return nil, int64(len(body)), fmt.Errorf("crawler: %s: read: %w", u, err)
 	}
+	issuer := c.Verify[u]
+	sum := sha256.Sum256(body)
+	c.cacheMu.Lock()
+	if hit, ok := c.parseCache[sum]; ok && (issuer == nil || hit.verifiedBy == issuer) {
+		c.ParseCacheHits++
+		c.cacheMu.Unlock()
+		return hit.crl, int64(len(body)), nil
+	}
+	c.cacheMu.Unlock()
 	parsed, err := crl.Parse(body)
 	if err != nil {
 		return nil, int64(len(body)), fmt.Errorf("crawler: %s: %w", u, err)
 	}
-	if issuer, ok := c.Verify[u]; ok {
+	if issuer != nil {
 		if err := parsed.VerifySignature(issuer); err != nil {
 			return nil, int64(len(body)), fmt.Errorf("crawler: %s: %w", u, err)
 		}
 	}
+	c.cacheMu.Lock()
+	if c.parseCache == nil {
+		c.parseCache = make(map[[sha256.Size]byte]*parsedCRL)
+	}
+	c.parseCache[sum] = &parsedCRL{crl: parsed, verifiedBy: issuer}
+	c.cacheMu.Unlock()
 	return parsed, int64(len(body)), nil
 }
 
@@ -161,13 +204,39 @@ type OCSPResult struct {
 }
 
 // CheckOCSPOnly queries the responder for each OCSP-only certificate.
+// Queries run with the configured parallelism; results are returned in
+// input order regardless.
 func (c *Crawler) CheckOCSPOnly(targets []OCSPTarget) []OCSPResult {
 	client := &ocsp.Client{HTTP: c.client()}
-	out := make([]OCSPResult, 0, len(targets))
-	for _, t := range targets {
+	out := make([]OCSPResult, len(targets))
+	check := func(i int) {
+		t := targets[i]
 		sr, err := client.Check(t.ResponderURL, t.Issuer, t.Serial)
-		out = append(out, OCSPResult{Target: t, Response: sr, Err: err})
+		out[i] = OCSPResult{Target: t, Response: sr, Err: err}
 	}
+	workers := c.Parallelism
+	if workers <= 1 || len(targets) <= 1 {
+		for i := range targets {
+			check(i)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				check(i)
+			}
+		}()
+	}
+	for i := range targets {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
 	return out
 }
 

@@ -20,19 +20,20 @@ type testWorld struct {
 	crawler   *Crawler
 }
 
-func newWorld(t *testing.T) *testWorld {
+func newWorld(t testing.TB) *testWorld {
 	t.Helper()
 	clock := simtime.NewClock(simtime.CrawlStart)
 	net := simnet.New()
 	authority, err := ca.NewRoot(ca.Config{
-		Name:         "CrawlCA",
-		NumCRLShards: 2,
-		CRLBaseURL:   "http://crl.crawlca.test/crl",
-		OCSPBaseURL:  "http://ocsp.crawlca.test/ocsp",
-		IncludeCRLDP: true,
-		IncludeOCSP:  true,
-		Clock:        clock.Now,
-		Seed:         3,
+		Name:              "CrawlCA",
+		NumCRLShards:      2,
+		CRLBaseURL:        "http://crl.crawlca.test/crl",
+		OCSPBaseURL:       "http://ocsp.crawlca.test/ocsp",
+		IncludeCRLDP:      true,
+		IncludeOCSP:       true,
+		ReuseUnchangedCRL: true,
+		Clock:             clock.Now,
+		Seed:              3,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -54,7 +55,7 @@ func newWorld(t *testing.T) *testWorld {
 	}
 }
 
-func (w *testWorld) issue(t *testing.T) *ca.Record {
+func (w *testWorld) issue(t testing.TB) *ca.Record {
 	t.Helper()
 	return w.authority.IssueRecord(ca.IssueOptions{
 		CommonName: "h.test",
@@ -215,5 +216,160 @@ func TestParallelCrawlMatchesSerial(t *testing.T) {
 	}
 	if parallel.Bytes == 0 {
 		t.Error("no bytes accounted in parallel crawl")
+	}
+}
+
+func TestParseCacheHitsAcrossCrawls(t *testing.T) {
+	w := newWorld(t)
+	rec := w.issue(t)
+	w.clock.Advance(time.Hour)
+	if err := w.authority.Revoke(rec.Serial, w.clock.Now(), crl.ReasonKeyCompromise); err != nil {
+		t.Fatal(err)
+	}
+	urls := []string{w.authority.CRLURL(0), w.authority.CRLURL(1)}
+	first := w.crawler.CrawlCRLs(urls)
+	if w.crawler.ParseCacheHits != 0 {
+		t.Fatalf("cold crawl hit the cache %d times", w.crawler.ParseCacheHits)
+	}
+	second := w.crawler.CrawlCRLs(urls)
+	if w.crawler.ParseCacheHits != 2 {
+		t.Fatalf("warm crawl: %d cache hits, want 2", w.crawler.ParseCacheHits)
+	}
+	// Pointer identity across snapshots is part of the cache contract:
+	// revdb's delta ingestion keys on it.
+	for _, u := range urls {
+		if first.CRLs[u] != second.CRLs[u] {
+			t.Errorf("%s: unchanged body re-parsed to a new object", u)
+		}
+	}
+
+	// A content change on one shard invalidates only that shard. Advance
+	// past the CRL validity window so the CA's handler re-signs; the
+	// unchanged shard still reuses its previous DER (ReuseUnchangedCRL)
+	// and stays a parse-cache hit.
+	rec2 := w.issue(t)
+	w.clock.Advance(25 * time.Hour)
+	if err := w.authority.Revoke(rec2.Serial, w.clock.Now(), crl.ReasonUnspecified); err != nil {
+		t.Fatal(err)
+	}
+	third := w.crawler.CrawlCRLs(urls)
+	if w.crawler.ParseCacheHits != 3 {
+		t.Errorf("after one shard changed: %d cache hits, want 3", w.crawler.ParseCacheHits)
+	}
+	if third.CRLs[rec2.CRLURL] == second.CRLs[rec2.CRLURL] {
+		t.Error("changed shard served the stale parsed CRL")
+	}
+	if !third.CRLs[rec2.CRLURL].Contains(rec2.Serial) {
+		t.Error("new revocation missing after cache invalidation")
+	}
+}
+
+func TestCheckOCSPOnlyParallelPreservesOrder(t *testing.T) {
+	w := newWorld(t)
+	var targets []OCSPTarget
+	var revoked []bool
+	for i := 0; i < 16; i++ {
+		rec := w.issue(t)
+		targets = append(targets, OCSPTarget{
+			ResponderURL: "http://ocsp.crawlca.test/ocsp",
+			Issuer:       w.authority.Certificate(),
+			Serial:       rec.Serial,
+		})
+		revoked = append(revoked, i%3 == 0)
+	}
+	w.clock.Advance(time.Hour)
+	for i, rec := range targets {
+		if revoked[i] {
+			if err := w.authority.Revoke(rec.Serial, w.clock.Now(), crl.ReasonUnspecified); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// One unreachable responder in the middle of the batch.
+	targets = append(targets[:8:8], append([]OCSPTarget{{
+		ResponderURL: "http://down.test/ocsp",
+		Issuer:       w.authority.Certificate(),
+		Serial:       targets[0].Serial,
+	}}, targets[8:]...)...)
+	revoked = append(revoked[:8:8], append([]bool{false}, revoked[8:]...)...)
+
+	w.crawler.Parallelism = 8
+	results := w.crawler.CheckOCSPOnly(targets)
+	if len(results) != len(targets) {
+		t.Fatalf("results = %d, want %d", len(results), len(targets))
+	}
+	for i, res := range results {
+		if res.Target.Serial.Cmp(targets[i].Serial) != 0 || res.Target.ResponderURL != targets[i].ResponderURL {
+			t.Fatalf("result %d out of order: got %v", i, res.Target)
+		}
+		if targets[i].ResponderURL == "http://down.test/ocsp" {
+			if res.Err == nil {
+				t.Errorf("result %d: unreachable responder did not error", i)
+			}
+			continue
+		}
+		if res.Err != nil {
+			t.Errorf("result %d: %v", i, res.Err)
+			continue
+		}
+		want := ocsp.StatusGood
+		if revoked[i] {
+			want = ocsp.StatusRevoked
+		}
+		if res.Response.Status != want {
+			t.Errorf("result %d: status %v, want %v", i, res.Response.Status, want)
+		}
+	}
+}
+
+// BenchmarkCrawlCRLsWarm measures the steady-state daily crawl: every CRL
+// body is unchanged from the previous day, so each fetch is a parse-cache
+// hit and the CA serves its cached DER encoding.
+func BenchmarkCrawlCRLsWarm(b *testing.B) {
+	w := newWorld(b)
+	for i := 0; i < 200; i++ {
+		rec := w.issue(b)
+		if i%2 == 0 {
+			if err := w.authority.Revoke(rec.Serial, w.clock.Now().Add(time.Minute), crl.ReasonUnspecified); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	w.clock.Advance(time.Hour)
+	urls := []string{w.authority.CRLURL(0), w.authority.CRLURL(1)}
+	w.crawler.CrawlCRLs(urls) // warm the caches
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := w.crawler.CrawlCRLs(urls)
+		if len(snap.Failures) != 0 {
+			b.Fatalf("failures: %v", snap.Failures)
+		}
+	}
+}
+
+// BenchmarkCrawlCRLsCold measures the same crawl with the parse cache
+// disabled by clearing it each iteration: every body is re-parsed and
+// re-verified.
+func BenchmarkCrawlCRLsCold(b *testing.B) {
+	w := newWorld(b)
+	for i := 0; i < 200; i++ {
+		rec := w.issue(b)
+		if i%2 == 0 {
+			if err := w.authority.Revoke(rec.Serial, w.clock.Now().Add(time.Minute), crl.ReasonUnspecified); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	w.clock.Advance(time.Hour)
+	urls := []string{w.authority.CRLURL(0), w.authority.CRLURL(1)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.crawler.parseCache = nil
+		snap := w.crawler.CrawlCRLs(urls)
+		if len(snap.Failures) != 0 {
+			b.Fatalf("failures: %v", snap.Failures)
+		}
 	}
 }

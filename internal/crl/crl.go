@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"sync"
 	"time"
 
 	"repro/internal/der"
@@ -89,17 +90,20 @@ type CRL struct {
 	Signature          []byte
 	SignatureAlgorithm der.OID
 
-	bySerial map[string]int
+	// indexOnce guards the lazy bySerial build: parsed CRLs are shared
+	// across snapshots (the crawler's parse cache) and goroutines.
+	indexOnce sync.Once
+	bySerial  map[string]int
 }
 
 // Lookup returns the entry for serial, if present.
 func (c *CRL) Lookup(serial *big.Int) (Entry, bool) {
-	if c.bySerial == nil {
+	c.indexOnce.Do(func() {
 		c.bySerial = make(map[string]int, len(c.Entries))
 		for i, e := range c.Entries {
 			c.bySerial[string(e.Serial.Bytes())] = i
 		}
-	}
+	})
 	i, ok := c.bySerial[string(serial.Bytes())]
 	if !ok {
 		return Entry{}, false

@@ -28,14 +28,11 @@ func buildSuite() (*testsuite.Suite, error) {
 // each CA's measured per-certificate CRL bytes against the
 // single-monolithic-CRL alternative.
 func (r *Runner) AblationCRLSharding() (*Result, error) {
-	rows, err := r.World.Table1()
+	shards, err := r.shardStats()
 	if err != nil {
 		return nil, err
 	}
-	shards, err := r.World.CRLStats()
-	if err != nil {
-		return nil, err
-	}
+	rows := r.World.Table1From(shards)
 	totalSize := map[string]int{}
 	for _, s := range shards {
 		totalSize[s.CAName] += s.SizeBytes
@@ -74,7 +71,7 @@ func (r *Runner) AblationCRLSharding() (*Result, error) {
 // AblationStapling compares the client-perceived latency of a revocation
 // check with and without OCSP stapling, under the simnet cost model.
 func (r *Runner) AblationStapling() (*Result, error) {
-	shards, err := r.World.CRLStats()
+	shards, err := r.shardStats()
 	if err != nil {
 		return nil, err
 	}

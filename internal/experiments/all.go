@@ -1,86 +1,89 @@
 package experiments
 
-import "repro/internal/workload"
+import (
+	"runtime"
+	"sync"
 
-// All runs every experiment in paper order and returns the results. The
-// world-based experiments share r's world; Table 2 and the failure-policy
-// ablation run on the shared browser test suite.
+	"repro/internal/workload"
+)
+
+// All runs every experiment and returns the results in paper order. The
+// experiments only read the built world (its corpus, revocation database,
+// and CRLSet timeline), so they are independent of one another and run
+// under a bounded worker pool sized by r.Concurrency (0 means NumCPU,
+// 1 means fully serial). Shared intermediate products — the per-shard CRL
+// statistics, the CRLSet coverage walk, and the browser test suite — are
+// memoized behind sync.Once so concurrent experiments compute them once.
 func (r *Runner) All() ([]*Result, error) {
-	var out []*Result
-	add := func(res *Result, err error) error {
-		if err != nil {
-			return err
+	tasks := []func() (*Result, error){
+		func() (*Result, error) { return r.Figure1(), nil },
+		func() (*Result, error) { return r.Figure2(), nil },
+		func() (*Result, error) { return r.Figure3(), nil },
+		func() (*Result, error) { return r.StaplingDeployment(), nil },
+		func() (*Result, error) { return r.Figure4(), nil },
+		r.Figure5,
+		r.Figure6,
+		r.Table1,
+		Table2,
+		func() (*Result, error) { return r.Figure7(), nil },
+		func() (*Result, error) { return r.CRLSetCoverage(), nil },
+		func() (*Result, error) { return r.Figure8(), nil },
+		func() (*Result, error) { return r.Figure9(), nil },
+		func() (*Result, error) { return r.Figure10(), nil },
+		func() (*Result, error) { return r.Figure11(), nil },
+		func() (*Result, error) { return r.DatasetSummary(), nil },
+		r.AblationCRLSharding,
+		r.AblationStapling,
+		func() (*Result, error) { return r.AblationSetEncoding(), nil },
+		AblationFailurePolicy,
+		ExtensionMultiStaple,
+		func() (*Result, error) { return ExtensionShortLived(), nil },
+	}
+
+	workers := r.Concurrency
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+
+	results := make([]*Result, len(tasks))
+	errs := make([]error, len(tasks))
+	if workers <= 1 {
+		for i, task := range tasks {
+			res, err := task()
+			if err != nil {
+				return nil, err
+			}
+			results[i] = res
 		}
-		out = append(out, res)
-		return nil
+		return results, nil
 	}
-	if err := add(r.Figure1(), nil); err != nil {
-		return nil, err
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i], errs[i] = tasks[i]()
+			}
+		}()
 	}
-	if err := add(r.Figure2(), nil); err != nil {
-		return nil, err
+	for i := range tasks {
+		idx <- i
 	}
-	if err := add(r.Figure3(), nil); err != nil {
-		return nil, err
+	close(idx)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
-	if err := add(r.StaplingDeployment(), nil); err != nil {
-		return nil, err
-	}
-	if err := add(r.Figure4(), nil); err != nil {
-		return nil, err
-	}
-	if err := add(r.Figure5()); err != nil {
-		return nil, err
-	}
-	if err := add(r.Figure6()); err != nil {
-		return nil, err
-	}
-	if err := add(r.Table1()); err != nil {
-		return nil, err
-	}
-	if err := add(Table2()); err != nil {
-		return nil, err
-	}
-	if err := add(r.Figure7(), nil); err != nil {
-		return nil, err
-	}
-	if err := add(r.CRLSetCoverage(), nil); err != nil {
-		return nil, err
-	}
-	if err := add(r.Figure8(), nil); err != nil {
-		return nil, err
-	}
-	if err := add(r.Figure9(), nil); err != nil {
-		return nil, err
-	}
-	if err := add(r.Figure10(), nil); err != nil {
-		return nil, err
-	}
-	if err := add(r.Figure11(), nil); err != nil {
-		return nil, err
-	}
-	if err := add(r.DatasetSummary(), nil); err != nil {
-		return nil, err
-	}
-	if err := add(r.AblationCRLSharding()); err != nil {
-		return nil, err
-	}
-	if err := add(r.AblationStapling()); err != nil {
-		return nil, err
-	}
-	if err := add(r.AblationSetEncoding(), nil); err != nil {
-		return nil, err
-	}
-	if err := add(AblationFailurePolicy()); err != nil {
-		return nil, err
-	}
-	if err := add(ExtensionMultiStaple()); err != nil {
-		return nil, err
-	}
-	if err := add(ExtensionShortLived(), nil); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return results, nil
 }
 
 // DefaultRunner builds a runner at the standard experiment scale (1/100 of

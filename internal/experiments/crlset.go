@@ -16,7 +16,7 @@ type caRecord = ca.Record
 // entries appearing in the CRLSet, for all entries and for entries with
 // CRLSet-eligible reason codes.
 func (r *Runner) Figure7() *Result {
-	cov := r.World.CoverageNow()
+	cov := r.coverageNow()
 	res := &Result{
 		ID:     "fig7",
 		Title:  "Fraction of covered CRLs' entries appearing in CRLSet",
@@ -57,7 +57,7 @@ func (r *Runner) Figure7() *Result {
 
 // CRLSetCoverage regenerates the §7.2 coverage numbers.
 func (r *Runner) CRLSetCoverage() *Result {
-	cov := r.World.CoverageNow()
+	cov := r.coverageNow()
 	set := r.World.LatestSet()
 	res := &Result{
 		ID:    "sec7.2",

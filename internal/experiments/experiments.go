@@ -11,8 +11,10 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
+	"repro/internal/crlset"
 	"repro/internal/simtime"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -73,6 +75,38 @@ type Runner struct {
 	World *workload.World
 	// Scale is the world's population scale, used for extrapolation.
 	Scale float64
+	// Concurrency bounds the experiment fan-out in All. 0 means
+	// runtime.NumCPU(); 1 runs the experiments serially. Results are
+	// identical at any setting.
+	Concurrency int
+
+	// Several experiments need the same expensive world aggregates
+	// (building every CRL, analyzing the final CRLSet); they are
+	// computed once and shared.
+	statsOnce sync.Once
+	stats     []workload.ShardStat
+	statsErr  error
+	covOnce   sync.Once
+	cov       crlset.Coverage
+}
+
+// shardStats returns the world's end-of-study CRL statistics, computed
+// once per runner (Figures 5 and 6, Table 1, and two ablations all
+// consume them).
+func (r *Runner) shardStats() ([]workload.ShardStat, error) {
+	r.statsOnce.Do(func() {
+		r.stats, r.statsErr = r.World.CRLStats()
+	})
+	return r.stats, r.statsErr
+}
+
+// coverageNow returns the latest CRLSet's coverage analysis, computed
+// once per runner.
+func (r *Runner) coverageNow() crlset.Coverage {
+	r.covOnce.Do(func() {
+		r.cov = r.World.CoverageNow()
+	})
+	return r.cov
 }
 
 // New builds and runs a world with the given config.
@@ -308,7 +342,7 @@ func (r *Runner) Figure4() *Result {
 
 // Figure5 regenerates the CRL size-vs-entries scatter and its linear fit.
 func (r *Runner) Figure5() (*Result, error) {
-	shards, err := r.World.CRLStats()
+	shards, err := r.shardStats()
 	if err != nil {
 		return nil, err
 	}
@@ -338,7 +372,7 @@ func (r *Runner) Figure5() (*Result, error) {
 
 // Figure6 regenerates the raw and certificate-weighted CRL size CDFs.
 func (r *Runner) Figure6() (*Result, error) {
-	shards, err := r.World.CRLStats()
+	shards, err := r.shardStats()
 	if err != nil {
 		return nil, err
 	}
@@ -386,10 +420,11 @@ func (r *Runner) Figure6() (*Result, error) {
 
 // Table1 regenerates the per-CA CRL statistics table.
 func (r *Runner) Table1() (*Result, error) {
-	rows, err := r.World.Table1()
+	shards, err := r.shardStats()
 	if err != nil {
 		return nil, err
 	}
+	rows := r.World.Table1From(shards)
 	res := &Result{
 		ID:     "table1",
 		Title:  "Per-CA certificates, revocations, and average CRL size per certificate",

@@ -7,6 +7,7 @@ package revdb
 
 import (
 	"math/big"
+	"sort"
 	"sync"
 	"time"
 
@@ -31,44 +32,117 @@ func key(crlURL string, serial *big.Int) string {
 	return crlURL + "\x00" + string(serial.Bytes())
 }
 
+// urlState tracks one CRL URL's most recently ingested version, enabling
+// the delta fast path: daily crawls mostly re-deliver unchanged CRLs
+// (the crawler's parse cache returns the identical *crl.CRL for an
+// unchanged body), and those cost O(1) instead of an entry walk.
+type urlState struct {
+	// last is the CRL object most recently ingested for this URL.
+	last *crl.CRL
+	// present are the database entries contained in last, in CRL order.
+	present []*Entry
+	// pending, when non-zero, is a LastSeen day not yet written to the
+	// present entries; it is flushed lazily on change or read.
+	pending time.Time
+}
+
 // DB is the revocation database. The zero value is unusable; use New.
 type DB struct {
 	mu      sync.Mutex
 	entries map[string]*Entry
 	order   []*Entry
+	byURL   map[string]*urlState
+	// dirty reports whether any urlState holds an unflushed LastSeen.
+	dirty bool
 }
 
 // New returns an empty database.
 func New() *DB {
-	return &DB{entries: make(map[string]*Entry)}
+	return &DB{
+		entries: make(map[string]*Entry),
+		byURL:   make(map[string]*urlState),
+	}
+}
+
+// flushLocked writes every pending LastSeen day through to the entries.
+func (db *DB) flushLocked() {
+	if !db.dirty {
+		return
+	}
+	for _, st := range db.byURL {
+		if st.pending.IsZero() {
+			continue
+		}
+		for _, e := range st.present {
+			e.LastSeen = st.pending
+		}
+		st.pending = time.Time{}
+	}
+	db.dirty = false
 }
 
 // IngestSnapshot merges one crawl day into the database and returns how
 // many previously unseen revocations it contained (the "CRL Entries" line
-// of Figure 9).
+// of Figure 9). A CRL identical (same object) to the URL's previously
+// ingested version is recorded in O(1).
 func (db *DB) IngestSnapshot(snap *crawler.Snapshot) int {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	// Iterate URLs in sorted order so first-seen entry order — and with
+	// it every order-sensitive read — is independent of map iteration.
+	urls := make([]string, 0, len(snap.CRLs))
+	for url := range snap.CRLs {
+		urls = append(urls, url)
+	}
+	sort.Strings(urls)
 	added := 0
-	for url, c := range snap.CRLs {
+	for _, url := range urls {
+		c := snap.CRLs[url]
+		st := db.byURL[url]
+		if st == nil {
+			st = &urlState{}
+			db.byURL[url] = st
+		}
+		if st.last == c {
+			// Unchanged since the last crawl of this URL: defer the
+			// LastSeen updates until something actually reads them.
+			st.pending = snap.Day
+			db.dirty = true
+			continue
+		}
+		if !st.pending.IsZero() {
+			// Entries dropped by the new version must still record the
+			// last day they were observed.
+			for _, e := range st.present {
+				e.LastSeen = st.pending
+			}
+			st.pending = time.Time{}
+		}
+		if cap(st.present) < len(c.Entries) {
+			st.present = make([]*Entry, 0, len(c.Entries))
+		} else {
+			st.present = st.present[:0]
+		}
 		for _, e := range c.Entries {
 			k := key(url, e.Serial)
-			if known, ok := db.entries[k]; ok {
-				known.LastSeen = snap.Day
-				continue
+			known, ok := db.entries[k]
+			if !ok {
+				known = &Entry{
+					CRLURL:    url,
+					Serial:    e.Serial,
+					RevokedAt: e.RevokedAt,
+					Reason:    e.Reason,
+					FirstSeen: snap.Day,
+				}
+				db.entries[k] = known
+				db.order = append(db.order, known)
+				added++
 			}
-			entry := &Entry{
-				CRLURL:    url,
-				Serial:    e.Serial,
-				RevokedAt: e.RevokedAt,
-				Reason:    e.Reason,
-				FirstSeen: snap.Day,
-				LastSeen:  snap.Day,
-			}
-			db.entries[k] = entry
-			db.order = append(db.order, entry)
-			added++
+			known.LastSeen = snap.Day
+			st.present = append(st.present, known)
 		}
+		st.last = c
+		st.pending = time.Time{}
 	}
 	return added
 }
@@ -77,6 +151,7 @@ func (db *DB) IngestSnapshot(snap *crawler.Snapshot) int {
 func (db *DB) Lookup(crlURL string, serial *big.Int) (*Entry, bool) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.flushLocked()
 	e, ok := db.entries[key(crlURL, serial)]
 	return e, ok
 }
@@ -107,6 +182,7 @@ func (db *DB) Size() int {
 func (db *DB) Entries() []*Entry {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.flushLocked()
 	out := make([]*Entry, len(db.order))
 	copy(out, db.order)
 	return out
@@ -116,6 +192,7 @@ func (db *DB) Entries() []*Entry {
 func (db *DB) EntriesByURL() map[string][]*Entry {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.flushLocked()
 	out := make(map[string][]*Entry)
 	for _, e := range db.order {
 		out[e.CRLURL] = append(out[e.CRLURL], e)

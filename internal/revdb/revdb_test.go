@@ -1,6 +1,7 @@
 package revdb
 
 import (
+	"fmt"
 	"math/big"
 	"testing"
 	"time"
@@ -99,5 +100,96 @@ func TestDailyAdditionsAndGrouping(t *testing.T) {
 	}
 	if len(db.Entries()) != 3 {
 		t.Errorf("entries = %d", len(db.Entries()))
+	}
+}
+
+func TestIngestUnchangedCRLFastPath(t *testing.T) {
+	db := New()
+	d0 := simtime.CrawlStart
+	url := "http://crl.test/0.crl"
+	c := &crl.CRL{Entries: []crl.Entry{
+		{Serial: big.NewInt(5), RevokedAt: d0.Add(-time.Hour), Reason: crl.ReasonKeyCompromise},
+	}}
+	if added := db.IngestSnapshot(&crawler.Snapshot{Day: d0, CRLs: map[string]*crl.CRL{url: c}}); added != 1 {
+		t.Fatalf("added = %d", added)
+	}
+	// The crawler's parse cache re-delivers the identical object for an
+	// unchanged body; LastSeen must still advance.
+	d1, d2 := d0.AddDate(0, 0, 1), d0.AddDate(0, 0, 2)
+	for _, day := range []time.Time{d1, d2} {
+		if added := db.IngestSnapshot(&crawler.Snapshot{Day: day, CRLs: map[string]*crl.CRL{url: c}}); added != 0 {
+			t.Fatalf("unchanged ingest on %v added %d", day, added)
+		}
+	}
+	e, ok := db.Lookup(url, big.NewInt(5))
+	if !ok {
+		t.Fatal("lookup failed")
+	}
+	if !e.FirstSeen.Equal(d0) || !e.LastSeen.Equal(d2) {
+		t.Errorf("first/last = %v / %v, want %v / %v", e.FirstSeen, e.LastSeen, d0, d2)
+	}
+
+	// A new CRL version that drops the entry: the dropped entry keeps the
+	// LastSeen from the final day it was actually present.
+	d3 := d0.AddDate(0, 0, 3)
+	c2 := &crl.CRL{Entries: []crl.Entry{
+		{Serial: big.NewInt(6), RevokedAt: d3, Reason: crl.ReasonAbsent},
+	}}
+	if added := db.IngestSnapshot(&crawler.Snapshot{Day: d3, CRLs: map[string]*crl.CRL{url: c2}}); added != 1 {
+		t.Fatalf("changed ingest added %d", added)
+	}
+	e, _ = db.Lookup(url, big.NewInt(5))
+	if !e.LastSeen.Equal(d2) {
+		t.Errorf("dropped entry LastSeen = %v, want %v", e.LastSeen, d2)
+	}
+	e6, ok := db.Lookup(url, big.NewInt(6))
+	if !ok || !e6.FirstSeen.Equal(d3) {
+		t.Errorf("new entry first seen = %+v", e6)
+	}
+}
+
+// benchSnapshot builds one crawl day covering nURLs CRLs of nEntries each.
+func benchSnapshot(day time.Time, nURLs, nEntries int) *crawler.Snapshot {
+	snap := &crawler.Snapshot{Day: day, CRLs: make(map[string]*crl.CRL, nURLs)}
+	for u := 0; u < nURLs; u++ {
+		entries := make([]crl.Entry, nEntries)
+		for i := range entries {
+			entries[i] = crl.Entry{
+				Serial:    big.NewInt(int64(u*nEntries + i + 1)),
+				RevokedAt: day.Add(-time.Hour),
+				Reason:    crl.ReasonUnspecified,
+			}
+		}
+		snap.CRLs[fmt.Sprintf("http://crl.test/%d.crl", u)] = &crl.CRL{Entries: entries}
+	}
+	return snap
+}
+
+// BenchmarkIngestSnapshotUnchanged measures the steady-state daily ingest:
+// every CRL object is identical to the previous day's (the parse-cache
+// contract), exercising the O(1)-per-URL delta path.
+func BenchmarkIngestSnapshotUnchanged(b *testing.B) {
+	db := New()
+	base := benchSnapshot(simtime.CrawlStart, 50, 200)
+	db.IngestSnapshot(base)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.IngestSnapshot(&crawler.Snapshot{
+			Day:  simtime.CrawlStart.AddDate(0, 0, i+1),
+			CRLs: base.CRLs,
+		})
+	}
+}
+
+// BenchmarkIngestSnapshotChanged measures ingest when every CRL is a new
+// object each day (no delta reuse), as after cold parses.
+func BenchmarkIngestSnapshotChanged(b *testing.B) {
+	db := New()
+	db.IngestSnapshot(benchSnapshot(simtime.CrawlStart, 50, 200))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.IngestSnapshot(benchSnapshot(simtime.CrawlStart.AddDate(0, 0, i+1), 50, 200))
 	}
 }

@@ -10,9 +10,11 @@
 package simnet
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"net/http"
-	"net/http/httptest"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -143,12 +145,28 @@ func (n *Network) RoundTrip(req *http.Request) (*http.Response, error) {
 		return nil, &HostError{Host: host, Mode: FailNXDomain}
 	}
 
-	rec := httptest.NewRecorder()
+	rec := &recorder{}
 	handler.ServeHTTP(rec, req)
-	resp := rec.Result()
-	resp.Request = req
+	if rec.code == 0 {
+		rec.code = http.StatusOK
+	}
+	header := rec.header
+	if header == nil {
+		header = http.Header{}
+	}
+	resp := &http.Response{
+		Status:        strconv.Itoa(rec.code) + " " + http.StatusText(rec.code),
+		StatusCode:    rec.code,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        header,
+		Body:          io.NopCloser(bytes.NewReader(rec.body)),
+		ContentLength: int64(len(rec.body)),
+		Request:       req,
+	}
 
-	size := rec.Body.Len()
+	size := len(rec.body)
 	n.mu.Lock()
 	n.total.Requests++
 	n.total.BytesReceived += int64(size)
@@ -180,6 +198,44 @@ func (n *Network) HostStats(host string) Stats {
 		return *hs
 	}
 	return Stats{}
+}
+
+// recorder is a minimal in-memory http.ResponseWriter. It replaces
+// httptest.NewRecorder on the fabric's hot path: no header snapshotting,
+// no bytes.Buffer, and the body is presized from the handler's
+// Content-Length header when one is set before the first Write.
+type recorder struct {
+	code   int
+	header http.Header
+	body   []byte
+}
+
+func (r *recorder) Header() http.Header {
+	if r.header == nil {
+		r.header = make(http.Header, 4)
+	}
+	return r.header
+}
+
+func (r *recorder) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+}
+
+func (r *recorder) Write(p []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	if r.body == nil {
+		if cl := r.header.Get("Content-Length"); cl != "" {
+			if n, err := strconv.Atoi(cl); err == nil && n >= len(p) {
+				r.body = make([]byte, 0, n)
+			}
+		}
+	}
+	r.body = append(r.body, p...)
+	return len(p), nil
 }
 
 // ResetStats zeroes all accounting.

@@ -157,6 +157,13 @@ func (w *World) Table1() ([]CAStat, error) {
 	if err != nil {
 		return nil, err
 	}
+	return w.Table1From(stats), nil
+}
+
+// Table1From aggregates precomputed shard statistics into Table 1 rows,
+// letting callers that already hold CRLStats output avoid rebuilding
+// every CRL.
+func (w *World) Table1From(stats []ShardStat) []CAStat {
 	byURL := make(map[string]ShardStat, len(stats))
 	for _, s := range stats {
 		byURL[s.URL] = s
@@ -181,7 +188,7 @@ func (w *World) Table1() ([]CAStat, error) {
 		}
 		out = append(out, row)
 	}
-	return out, nil
+	return out
 }
 
 // AdoptionPoint is one Figure 4 sample: of certificates issued in Month,
@@ -401,7 +408,7 @@ type OCSPOnlyStatus struct {
 // CheckOCSPOnly queries the responder for every fresh OCSP-only leaf
 // certificate through the world's fabric.
 func (w *World) CheckOCSPOnly() OCSPOnlyStatus {
-	cr := &crawler.Crawler{Client: w.Net.Client(), Now: w.Clock.Now}
+	cr := &crawler.Crawler{Client: w.Net.Client(), Now: w.Clock.Now, Parallelism: w.parallelism()}
 	var targets []crawler.OCSPTarget
 	now := w.Clock.Now()
 	for _, cs := range w.Certs {

@@ -19,10 +19,9 @@ func (w *World) Run() error {
 	scans := simtime.ScanSchedule().Between(w.Cfg.Start, w.Cfg.End)
 	scanIdx := 0
 	sc := &scan.Scanner{Hosts: w.Hosts}
-	cr := &crawler.Crawler{Client: w.Net.Client(), Now: w.Clock.Now}
+	cr := &crawler.Crawler{Client: w.Net.Client(), Now: w.Clock.Now, Parallelism: w.parallelism()}
 
 	hbMarked := false
-	var steadyCarry float64
 
 	for day := w.Cfg.Start; !day.After(w.Cfg.End); day = day.AddDate(0, 0, 1) {
 		w.Clock.AdvanceTo(day)
@@ -33,7 +32,7 @@ func (w *World) Run() error {
 			w.markHeartbleed(day)
 			hbMarked = true
 		}
-		steadyCarry = w.revokeDaily(day, steadyCarry)
+		w.revokeDaily(day)
 		w.expireDaily(day)
 
 		if scanIdx < len(scans) && !day.Before(scans[scanIdx].Truncate(24*time.Hour)) {
@@ -70,15 +69,18 @@ func (w *World) issueDaily(day time.Time) {
 		return
 	}
 	daysInMonth := float64(time.Date(day.Year(), day.Month()+1, 1, 0, 0, 0, 0, time.UTC).Add(-time.Hour).Day())
+	var plans []*certPlan
 	for _, authority := range w.Authorities {
 		totalScaled := float64(authority.Profile.TotalCerts) * w.Cfg.Scale
 		authority.carry += totalScaled * weights[mi] / daysInMonth
 		n := int(authority.carry)
 		authority.carry -= float64(n)
 		for i := 0; i < n; i++ {
-			w.issueCert(authority, day)
+			plans = append(plans, w.planCert(authority, day, len(w.Certs)+len(plans)))
 		}
 	}
+	w.executePlans(plans)
+	w.integratePlans(plans)
 }
 
 // markHeartbleed samples the exposed population and schedules each
@@ -98,8 +100,9 @@ func (w *World) markHeartbleed(day time.Time) {
 }
 
 // revokeDaily executes due Heartbleed revocations and samples steady-state
-// ones; carry holds the fractional expectation between days.
-func (w *World) revokeDaily(day time.Time, carry float64) float64 {
+// ones; each authority's steadyCarry holds the fractional expectation
+// between days.
+func (w *World) revokeDaily(day time.Time) {
 	// Heartbleed revocations due today. Iterate a copy: revocation can
 	// mutate the active set.
 	var due []*CertState
@@ -136,7 +139,6 @@ func (w *World) revokeDaily(day time.Time, carry float64) float64 {
 			done++
 		}
 	}
-	return carry
 }
 
 func (w *World) heartbleedReason() crl.Reason {
@@ -234,23 +236,9 @@ func (w *World) generateCRLSet(day time.Time) {
 		}
 		return
 	}
-	var sources []crlset.SourceCRL
-	for _, authority := range w.Authorities {
-		public := authority.Profile.GoogleCrawled
-		if authority.Profile.Name == w.Cfg.CRLSetParentRemovedCA && !day.Before(w.Cfg.CRLSetParentRemovalAt) {
-			public = false
-		}
-		for shard := 0; shard < authority.Profile.CRLShards; shard++ {
-			sources = append(sources, crlset.SourceCRL{
-				Parent:  authority.Parent,
-				URL:     authority.CA.CRLURL(shard),
-				Public:  public,
-				Entries: authority.CA.CRLEntries(shard, day),
-			})
-		}
-	}
 	w.crlsetSeq++
-	set := crlset.Generate(w.generatorConfig(), sources, w.crlsetSeq)
+	w.srcBuf = w.appendSources(w.srcBuf[:0], day)
+	set := crlset.Generate(w.generatorConfig(), w.srcBuf, w.crlsetSeq)
 	w.lastSet = set
 	w.Timeline.Add(day, set)
 }
@@ -275,14 +263,27 @@ func (w *World) generatorConfig() crlset.GeneratorConfig {
 // Sources returns the current CRL universe as CRLSet generator input,
 // with public visibility as of the given day.
 func (w *World) Sources(day time.Time) []crlset.SourceCRL {
-	var sources []crlset.SourceCRL
+	return w.appendSources(nil, day)
+}
+
+// appendSources appends the day's sources to buf, growing it at most once.
+func (w *World) appendSources(buf []crlset.SourceCRL, day time.Time) []crlset.SourceCRL {
+	if cap(buf)-len(buf) == 0 {
+		n := 0
+		for _, authority := range w.Authorities {
+			n += authority.Profile.CRLShards
+		}
+		grown := make([]crlset.SourceCRL, len(buf), len(buf)+n)
+		copy(grown, buf)
+		buf = grown
+	}
 	for _, authority := range w.Authorities {
 		public := authority.Profile.GoogleCrawled
 		if authority.Profile.Name == w.Cfg.CRLSetParentRemovedCA && !day.Before(w.Cfg.CRLSetParentRemovalAt) {
 			public = false
 		}
 		for shard := 0; shard < authority.Profile.CRLShards; shard++ {
-			sources = append(sources, crlset.SourceCRL{
+			buf = append(buf, crlset.SourceCRL{
 				Parent:  authority.Parent,
 				URL:     authority.CA.CRLURL(shard),
 				Public:  public,
@@ -290,7 +291,7 @@ func (w *World) Sources(day time.Time) []crlset.SourceCRL {
 			})
 		}
 	}
-	return sources
+	return buf
 }
 
 // LatestSet returns the most recent CRLSet snapshot.

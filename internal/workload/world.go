@@ -34,6 +34,11 @@ type Config struct {
 	// HistoricalFrom is the first month of backfilled issuance
 	// (January 2011, for the Figure 4 adoption curves).
 	HistoricalFrom time.Time
+	// Parallelism bounds the worker pools for certificate issuance and
+	// the daily CRL crawl. 0 means runtime.NumCPU(); 1 forces the serial
+	// path. The built world is byte-for-byte identical at any setting:
+	// every random decision is drawn before work fans out.
+	Parallelism int
 
 	// SteadyRevPerYear is the steady-state fraction of advertised fresh
 	// certificates revoked per year (the >1% pre-Heartbleed baseline).
@@ -242,6 +247,9 @@ type World struct {
 	crlsetSeq int
 	// lastSet is the most recent CRLSet (reused during outages).
 	lastSet *crlset.Set
+	// srcBuf is the reusable CRLSet-generator input buffer; the generator
+	// never retains it past a Generate call.
+	srcBuf []crlset.SourceCRL
 	// nextAddr allocates simulated host addresses.
 	nextAddr uint32
 }
@@ -277,8 +285,12 @@ func NewWorld(cfg Config) (*World, error) {
 			// Real CAs drop expired certificates from CRLs, which
 			// both bounds CRL growth and produces Figure 8's decline.
 			DropExpiredFromCRL: true,
-			Clock:              w.Clock.Now,
-			Seed:               cfg.Seed + int64(i),
+			// The simulation's crawler does not enforce CRL freshness,
+			// so shards whose revocation set is unchanged can serve
+			// yesterday's DER instead of re-signing every day.
+			ReuseUnchangedCRL: true,
+			Clock:             w.Clock.Now,
+			Seed:              cfg.Seed + int64(i),
 		})
 		if err != nil {
 			return nil, err
@@ -389,10 +401,13 @@ func (w *World) monthWeights() []float64 {
 	return weights
 }
 
-// backfill issues the pre-simulation population month by month.
+// backfill issues the pre-simulation population month by month: plans
+// are drawn serially (preserving the RNG stream), executed on the worker
+// pool, and merged back in plan order.
 func (w *World) backfill() {
 	months := simtime.Months(w.Cfg.HistoricalFrom, w.Cfg.End)
 	weights := w.monthWeights()
+	var plans []*certPlan
 	for _, authority := range w.Authorities {
 		totalScaled := float64(authority.Profile.TotalCerts) * w.Cfg.Scale
 		carry := 0.0
@@ -410,10 +425,12 @@ func (w *World) backfill() {
 			for i := 0; i < n; i++ {
 				day := w.rng.Intn(28)
 				issued := monthStart.AddDate(0, 0, day)
-				w.issueCert(authority, issued)
+				plans = append(plans, w.planCert(authority, issued, len(w.Certs)+len(plans)))
 			}
 		}
 	}
+	w.executePlans(plans)
+	w.integratePlans(plans)
 }
 
 // sampleValidity returns a certificate validity period for the authority.
@@ -432,60 +449,6 @@ func (w *World) sampleValidity(authority *Authority) time.Duration {
 	}
 }
 
-// issueCert creates one certificate issued at the given date, advertises
-// it on freshly allocated hosts if it is fresh at (or after) the
-// simulation start, and registers its expiry.
-func (w *World) issueCert(authority *Authority, issued time.Time) *CertState {
-	profile := &authority.Profile
-	notAfter := issued.Add(w.sampleValidity(authority))
-	omitOCSP := false
-	if !profile.OCSPAdoption.IsZero() && issued.Before(profile.OCSPAdoption) {
-		omitOCSP = true
-	} else if w.rng.Float64() < 0.03 {
-		omitOCSP = true
-	}
-	omitCRL := false
-	if !profile.CRLAdoption.IsZero() && issued.Before(profile.CRLAdoption) {
-		omitCRL = true
-	} else if w.rng.Float64() < 0.002 {
-		omitCRL = true
-		// Pointer omissions correlate: a CA sloppy enough to skip the
-		// CRL pointer often skips OCSP too, yielding the ~0.1% of
-		// certificates that can never be revoked (§3.2).
-		if w.rng.Float64() < 0.5 {
-			omitOCSP = true
-		}
-	}
-	rec := authority.CA.IssueRecord(ca.IssueOptions{
-		CommonName: fmt.Sprintf("site-%d.%s.example", len(w.Certs), strings.ToLower(profile.Name)),
-		NotBefore:  issued,
-		NotAfter:   notAfter,
-		EV:         w.rng.Float64() < profile.EVFraction,
-		OmitOCSP:   omitOCSP,
-		OmitCRLDP:  omitCRL,
-	})
-	cs := &CertState{
-		Rec:        rec,
-		Authority:  authority,
-		Reason:     crl.ReasonAbsent,
-		activeIdx:  -1,
-		poolIdx:    -1,
-		Popular:    w.rng.Float64() < 0.20,
-		PopularTop: w.rng.Float64() < 0.0005,
-	}
-	w.Certs = append(w.Certs, cs)
-	authority.poolAdd(cs)
-
-	// Advertise only web certificates that are (or will become) fresh
-	// during the observation window.
-	if profile.WebCA() && notAfter.After(w.Cfg.Start) {
-		w.advertise(cs, w.sampleHostCount())
-		w.activate(cs)
-		w.expiring[dayKey(notAfter)] = append(w.expiring[dayKey(notAfter)], cs)
-	}
-	return cs
-}
-
 func (w *World) sampleHostCount() int {
 	r := w.rng.Float64()
 	switch {
@@ -498,26 +461,6 @@ func (w *World) sampleHostCount() int {
 	default:
 		return 6 + w.rng.Intn(45)
 	}
-}
-
-// advertise puts the certificate on n new hosts.
-func (w *World) advertise(cs *CertState, n int) {
-	for i := 0; i < n; i++ {
-		w.nextAddr++
-		h := host.New(host.Config{
-			Addr:               w.nextAddr,
-			SupportsStapling:   w.rng.Float64() < w.Cfg.StaplingHostProb,
-			InitialFresh:       w.rng.Float64() < w.Cfg.WarmStapleProb,
-			BackgroundWarmProb: w.Cfg.WarmStapleProb,
-			RefreshProb:        0.5,
-			Clock:              w.Clock.Now,
-			Seed:               w.Cfg.Seed,
-		})
-		h.SetRecord(cs.Rec)
-		w.Hosts = append(w.Hosts, h)
-		cs.Hosts = append(cs.Hosts, h)
-	}
-	cs.Advertised = true
 }
 
 // retire stops all hosts from serving the certificate.

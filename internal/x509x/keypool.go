@@ -1,0 +1,45 @@
+package x509x
+
+import (
+	"crypto/ecdsa"
+	"sync"
+)
+
+// keyPool buffers pre-generated ECDSA keys. Key material carries no
+// simulation state (serials, shard assignment, and revocation statistics
+// are all drawn elsewhere), so handing out keys in arbitrary order is
+// safe even for deterministic runs.
+var (
+	keyPool     chan *ecdsa.PrivateKey
+	keyPoolOnce sync.Once
+)
+
+const keyPoolFillers = 2
+
+// PooledKey returns a fresh ECDSA P-256 key pair, preferring one of the
+// keys a background generator keeps buffered so bursty callers (CA
+// construction, test-suite builds) rarely pay GenerateKey latency on
+// their own goroutine. Falls back to a direct GenerateKey when the
+// buffer is empty.
+func PooledKey() (*ecdsa.PrivateKey, error) {
+	keyPoolOnce.Do(func() {
+		keyPool = make(chan *ecdsa.PrivateKey, 32)
+		for i := 0; i < keyPoolFillers; i++ {
+			go func() {
+				for {
+					k, err := GenerateKey()
+					if err != nil {
+						return
+					}
+					keyPool <- k
+				}
+			}()
+		}
+	})
+	select {
+	case k := <-keyPool:
+		return k, nil
+	default:
+		return GenerateKey()
+	}
+}
