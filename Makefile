@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench
+.PHONY: check vet build test race race-hot bench-smoke bench bench-all
 
-# check is the full pre-merge gate: static checks, a race-enabled test
-# run, and a one-iteration smoke of the end-to-end world-build benchmark.
-check: vet build race bench-smoke
+# check is the full pre-merge gate: static checks, race-enabled tests on
+# the concurrency-hot packages and then the whole tree, and a
+# one-iteration smoke of the end-to-end world-build benchmark.
+check: vet build race-hot race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -18,11 +19,21 @@ test:
 race:
 	$(GO) test -race ./...
 
+# race-hot gives fast feedback on the packages where the serving-layer
+# concurrency lives (pre-signed OCSP cache, batched crawler pool).
+race-hot:
+	$(GO) test -race ./internal/ocsp ./internal/crawler
+
 # bench-smoke builds one world end to end under the benchmark harness —
 # enough to catch pipeline regressions without paying for stable timings.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=BenchmarkWorldBuild -benchtime=1x .
 
-# bench runs the full harness with memory stats (slow).
+# bench regenerates BENCH_pr2.json: the OCSP serving-layer load report
+# (cold per-request signing vs warm pre-signed cache).
 bench:
+	$(GO) run ./cmd/revload -o BENCH_pr2.json
+
+# bench-all runs every Go benchmark with memory stats (slow).
+bench-all:
 	$(GO) test -run='^$$' -bench=. -benchmem ./...

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestRunLoadSmoke(t *testing.T) {
+	rep, err := runLoad(Config{
+		Serials:         16,
+		Requests:        64,
+		GETFraction:     0.75,
+		ZipfS:           1.3,
+		RevokedFraction: 0.1,
+		Seed:            1,
+		BenchTime:       10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cold.NsPerOp <= 0 || rep.Warm.NsPerOp <= 0 {
+		t.Fatalf("phases not measured: %+v", rep)
+	}
+	if rep.Warm.NsPerOp >= rep.Cold.NsPerOp {
+		t.Errorf("warm (%d ns/op) not faster than cold (%d ns/op)", rep.Warm.NsPerOp, rep.Cold.NsPerOp)
+	}
+	if rep.CacheStats.Signs <= 0 || rep.CacheStats.Signs > 16 {
+		t.Errorf("signs = %d, want at most one per distinct serial", rep.CacheStats.Signs)
+	}
+	if rep.CacheStats.HitRatio != 1 {
+		t.Errorf("steady-state hit ratio = %v, want 1 (pre-warmed, nothing expires)", rep.CacheStats.HitRatio)
+	}
+}
+
+func TestRunWritesReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-serials", "8", "-requests", "32", "-benchtime", "10ms", "-o", out,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Config.Serials != 8 || rep.Warm.ResponsesPerSec <= 0 {
+		t.Errorf("report contents: %+v", rep)
+	}
+	if !bytes.Contains(stdout.Bytes(), []byte("speedup")) {
+		t.Errorf("summary missing: %s", stdout.String())
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-serials", "1"}, &stdout, &stderr); code == 0 {
+		t.Error("serials=1 should fail (zipf needs a range)")
+	}
+	if code := run([]string{"-nope"}, &stdout, &stderr); code == 0 {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -164,6 +164,10 @@ type CA struct {
 	// delegate is the lazily issued OCSP-signing certificate.
 	delegate    *x509x.Certificate
 	delegateKey *ecdsa.PrivateKey
+
+	// revokeHooks run after every successful Revoke, outside the CA lock.
+	// The OCSP serving cache registers here to evict pre-signed entries.
+	revokeHooks []func(serial *big.Int)
 }
 
 func serialKey(serial *big.Int) string { return string(serial.Bytes()) }
@@ -407,17 +411,29 @@ func (ca *CA) Issue(opts IssueOptions) (*x509x.Certificate, *Record, error) {
 	return cert, rec, nil
 }
 
-// Revoke marks the certificate with the given serial revoked at time at.
-// Revoking an unknown or already-revoked serial is an error.
-func (ca *CA) Revoke(serial *big.Int, at time.Time, reason crl.Reason) error {
+// OnRevoke registers fn to run after every successful Revoke, outside the
+// CA's lock (fn may call back into the CA). Registration is not otherwise
+// synchronized with in-flight Revoke calls: register hooks before serving.
+func (ca *CA) OnRevoke(fn func(serial *big.Int)) {
 	ca.mu.Lock()
 	defer ca.mu.Unlock()
+	ca.revokeHooks = append(ca.revokeHooks, fn)
+}
+
+// Revoke marks the certificate with the given serial revoked at time at.
+// Revoking an unknown or already-revoked serial is an error. Once Revoke
+// returns, registered OnRevoke hooks have run, so caches wired through
+// them can no longer serve the pre-revocation status.
+func (ca *CA) Revoke(serial *big.Int, at time.Time, reason crl.Reason) error {
+	ca.mu.Lock()
 	key := serialKey(serial)
 	rec, ok := ca.issued[key]
 	if !ok {
+		ca.mu.Unlock()
 		return fmt.Errorf("ca %s: revoke: unknown serial %v", ca.cfg.Name, serial)
 	}
 	if _, dup := ca.revoked[key]; dup {
+		ca.mu.Unlock()
 		return fmt.Errorf("ca %s: serial %v already revoked", ca.cfg.Name, serial)
 	}
 	rev := &Revocation{Serial: new(big.Int).Set(serial), At: at, Reason: reason, Record: rec}
@@ -425,6 +441,11 @@ func (ca *CA) Revoke(serial *big.Int, at time.Time, reason crl.Reason) error {
 	ca.revokedSeq = append(ca.revokedSeq, rev)
 	ca.revokedByShard[rec.Shard] = append(ca.revokedByShard[rec.Shard], rev)
 	ca.shardSeq[rec.Shard]++
+	hooks := ca.revokeHooks
+	ca.mu.Unlock()
+	for _, fn := range hooks {
+		fn(serial)
+	}
 	return nil
 }
 
@@ -599,11 +620,27 @@ func (ca *CA) OCSPSource() ocsp.Source {
 		defer ca.mu.Unlock()
 		now := ca.now()
 		key := serialKey(id.Serial)
-		if rev, ok := ca.revoked[key]; ok && !rev.At.After(now) {
-			return ocsp.SingleResponse{
-				Status:    ocsp.StatusRevoked,
-				RevokedAt: rev.At,
-				Reason:    rev.Reason,
+		if rev, ok := ca.revoked[key]; ok {
+			if !rev.At.After(now) {
+				return ocsp.SingleResponse{
+					Status:    ocsp.StatusRevoked,
+					RevokedAt: rev.At,
+					Reason:    rev.Reason,
+				}
+			}
+			// Revocation recorded but not yet active in simulated time:
+			// still good, but the response must not outlive the
+			// activation or a cache could replay stale Good.
+			if _, ok := ca.issued[key]; ok {
+				next := now.Add(ca.cfg.OCSPValidity)
+				if rev.At.Before(next) {
+					next = rev.At
+				}
+				return ocsp.SingleResponse{
+					Status:     ocsp.StatusGood,
+					ThisUpdate: now,
+					NextUpdate: next,
+				}
 			}
 		}
 		if _, ok := ca.issued[key]; ok {
@@ -629,6 +666,19 @@ func (ca *CA) Responder() *ocsp.Responder {
 		Now:      ca.now,
 		Validity: ca.cfg.OCSPValidity,
 	}
+}
+
+// CachingResponder returns the CA's production-shaped OCSP serving plane:
+// the Responder wrapped in a pre-signed response cache whose entries are
+// evicted by this CA's revocations (via OnRevoke), so a revoked serial is
+// never served a stale Good once Revoke has returned.
+func (ca *CA) CachingResponder() *ocsp.CachingResponder {
+	cached := ocsp.NewCachingResponder(ca.Responder())
+	issuer := ca.cert
+	ca.OnRevoke(func(serial *big.Int) {
+		cached.EvictCertID(ocsp.NewCertID(issuer, serial))
+	})
+	return cached
 }
 
 // ocspDelegate lazily issues (once) the CA's delegated OCSP-signing

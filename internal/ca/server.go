@@ -32,16 +32,24 @@ func (ca *CA) Handler() http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		body, err := cache.get(shard)
+		body, expires, err := cache.get(shard)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		w.Header().Set("Content-Type", "application/pkix-crl")
-		w.Header().Set("Content-Length", fmt.Sprint(len(body)))
+		h := w.Header()
+		h.Set("Content-Type", "application/pkix-crl")
+		h.Set("Content-Length", fmt.Sprint(len(body)))
+		now := ca.now()
+		maxAge := int64(expires.Sub(now) / time.Second)
+		if maxAge < 0 {
+			maxAge = 0
+		}
+		h.Set("Cache-Control", "max-age="+strconv.FormatInt(maxAge, 10)+",public")
+		h.Set("Expires", expires.UTC().Format(http.TimeFormat))
 		w.Write(body)
 	})
-	responder := ca.Responder()
+	responder := ca.CachingResponder()
 	mux.Handle("/ocsp/", http.StripPrefix("/ocsp", responder))
 	mux.Handle("/ocsp", responder)
 	return mux
@@ -61,7 +69,7 @@ type crlCacheEntry struct {
 	expires time.Time
 }
 
-func (c *crlCache) get(shard int) ([]byte, error) {
+func (c *crlCache) get(shard int) ([]byte, time.Time, error) {
 	now := c.ca.now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -69,12 +77,13 @@ func (c *crlCache) get(shard int) ([]byte, error) {
 		c.entries = make(map[int]crlCacheEntry)
 	}
 	if e, ok := c.entries[shard]; ok && now.Before(e.expires) {
-		return e.body, nil
+		return e.body, e.expires, nil
 	}
 	body, err := c.ca.CRLBytes(shard)
 	if err != nil {
-		return nil, err
+		return nil, time.Time{}, err
 	}
-	c.entries[shard] = crlCacheEntry{body: body, expires: now.Add(c.ca.cfg.CRLValidity)}
-	return body, nil
+	expires := now.Add(c.ca.cfg.CRLValidity)
+	c.entries[shard] = crlCacheEntry{body: body, expires: expires}
+	return body, expires, nil
 }

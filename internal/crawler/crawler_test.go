@@ -1,6 +1,7 @@
 package crawler
 
 import (
+	"math/big"
 	"testing"
 	"time"
 
@@ -371,5 +372,123 @@ func BenchmarkCrawlCRLsCold(b *testing.B) {
 		if len(snap.Failures) != 0 {
 			b.Fatalf("failures: %v", snap.Failures)
 		}
+	}
+}
+
+// TestCheckOCSPOnlyBatched: with OCSPBatchSize set, targets sharing a
+// responder+issuer ride in multi-certificate requests, results still map
+// back by input index, and the wire sees ceil(n/size) requests.
+func TestCheckOCSPOnlyBatched(t *testing.T) {
+	w := newWorld(t)
+	var targets []OCSPTarget
+	var revoked []bool
+	for i := 0; i < 5; i++ {
+		rec := w.issue(t)
+		targets = append(targets, OCSPTarget{
+			ResponderURL: "http://ocsp.crawlca.test/ocsp",
+			Issuer:       w.authority.Certificate(),
+			Serial:       rec.Serial,
+		})
+		revoked = append(revoked, i%2 == 1)
+	}
+	w.clock.Advance(time.Hour)
+	for i := range targets {
+		if revoked[i] {
+			if err := w.authority.Revoke(targets[i].Serial, w.clock.Now(), crl.ReasonSuperseded); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	w.net.ResetStats()
+	w.crawler.OCSPBatchSize = 2
+	results := w.crawler.CheckOCSPOnly(targets)
+	if got := w.net.TotalStats().Requests; got != 3 {
+		t.Errorf("wire requests = %d, want 3 (batches of 2,2,1)", got)
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("result %d: %v", i, res.Err)
+		}
+		if res.Target.Serial.Cmp(targets[i].Serial) != 0 {
+			t.Fatalf("result %d out of order", i)
+		}
+		want := ocsp.StatusGood
+		if revoked[i] {
+			want = ocsp.StatusRevoked
+		}
+		if res.Response.Status != want {
+			t.Errorf("result %d: status %v, want %v", i, res.Response.Status, want)
+		}
+	}
+}
+
+// TestCheckOCSPOnlyBatchedParallel runs the batched path through the
+// worker pool with mixed responders, asserting order is preserved and a
+// batch-level failure reaches every member of the failed batch only.
+func TestCheckOCSPOnlyBatchedParallel(t *testing.T) {
+	w := newWorld(t)
+	var targets []OCSPTarget
+	for i := 0; i < 9; i++ {
+		rec := w.issue(t)
+		url := "http://ocsp.crawlca.test/ocsp"
+		if i%4 == 3 {
+			url = "http://down.test/ocsp"
+		}
+		targets = append(targets, OCSPTarget{
+			ResponderURL: url,
+			Issuer:       w.authority.Certificate(),
+			Serial:       rec.Serial,
+		})
+	}
+	w.crawler.OCSPBatchSize = 3
+	w.crawler.Parallelism = 4
+	results := w.crawler.CheckOCSPOnly(targets)
+	for i, res := range results {
+		if res.Target.Serial.Cmp(targets[i].Serial) != 0 {
+			t.Fatalf("result %d out of order", i)
+		}
+		if targets[i].ResponderURL == "http://down.test/ocsp" {
+			if res.Err == nil {
+				t.Errorf("result %d: expected batch error for dead responder", i)
+			}
+		} else if res.Err != nil {
+			t.Errorf("result %d: %v", i, res.Err)
+		}
+	}
+}
+
+func TestOCSPBatchesGrouping(t *testing.T) {
+	w := newWorld(t)
+	issuer := w.authority.Certificate()
+	mk := func(url string, serial int64) OCSPTarget {
+		return OCSPTarget{ResponderURL: url, Issuer: issuer, Serial: big.NewInt(serial)}
+	}
+	targets := []OCSPTarget{
+		mk("http://a/ocsp", 1), // batch 0
+		mk("http://b/ocsp", 2), // batch 1
+		mk("http://a/ocsp", 3), // batch 0 (fills it at size 2)
+		mk("http://a/ocsp", 4), // batch 2 (a's first batch is full)
+		mk("http://b/ocsp", 5), // batch 1
+	}
+	c := &Crawler{OCSPBatchSize: 2}
+	got := c.ocspBatches(targets)
+	want := [][]int{{0, 2}, {1, 4}, {3}}
+	if len(got) != len(want) {
+		t.Fatalf("batches = %v, want %v", got, want)
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("batch %d = %v, want %v", i, got[i], want[i])
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("batch %d = %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+	// Size 0/1 degenerates to one batch per target.
+	c.OCSPBatchSize = 0
+	if got := c.ocspBatches(targets); len(got) != len(targets) {
+		t.Fatalf("unbatched: %v", got)
 	}
 }

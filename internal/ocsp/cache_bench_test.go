@@ -1,0 +1,105 @@
+package ocsp
+
+import (
+	"bytes"
+	"crypto/ecdsa"
+	"encoding/base64"
+	"math/big"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"repro/internal/x509x"
+)
+
+// discardRW is a ResponseWriter that throws everything away while still
+// paying the header-map cost a real server would. The map is reallocated
+// per benchmark, not per request, mirroring net/http's per-connection
+// reuse.
+type discardRW struct {
+	h http.Header
+}
+
+func (d *discardRW) Header() http.Header {
+	if d.h == nil {
+		d.h = make(http.Header, 8)
+	}
+	return d.h
+}
+func (d *discardRW) Write(p []byte) (int, error) { return len(p), nil }
+func (d *discardRW) WriteHeader(int)             {}
+
+func (d *discardRW) reset() {
+	clear(d.h)
+}
+
+func benchResponder(b *testing.B) (*Responder, *x509x.Certificate, *ecdsa.PrivateKey) {
+	b.Helper()
+	caCert, caKey := newCA(b)
+	return &Responder{
+		Source:   SourceFunc(func(CertID) SingleResponse { return SingleResponse{Status: StatusGood} }),
+		Signer:   caCert,
+		Key:      caKey,
+		Now:      func() time.Time { return testNow },
+		Validity: 96 * time.Hour,
+	}, caCert, caKey
+}
+
+func benchGETRequest(caCert *x509x.Certificate) *http.Request {
+	req := &Request{IDs: []CertID{NewCertID(caCert, big.NewInt(77))}}
+	encoded := base64.StdEncoding.EncodeToString(req.Marshal())
+	return httptest.NewRequest(http.MethodGet, "/"+url.PathEscape(encoded), nil)
+}
+
+// BenchmarkOCSPServeColdSign is the no-cache baseline: every request
+// parses the DER and produces a fresh ECDSA signature, the way the
+// pre-PR responder answered all traffic.
+func BenchmarkOCSPServeColdSign(b *testing.B) {
+	responder, caCert, _ := benchResponder(b)
+	httpReq := benchGETRequest(caCert)
+	w := &discardRW{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.reset()
+		responder.ServeHTTP(w, httpReq)
+	}
+}
+
+// BenchmarkOCSPServeWarmCache is the steady-state serving path: the
+// pre-signed response is replayed from the transport-level cache without
+// touching base64, DER, or the signer.
+func BenchmarkOCSPServeWarmCache(b *testing.B) {
+	responder, caCert, _ := benchResponder(b)
+	cached := NewCachingResponder(responder)
+	httpReq := benchGETRequest(caCert)
+	w := &discardRW{}
+	cached.ServeHTTP(w, httpReq) // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.reset()
+		cached.ServeHTTP(w, httpReq)
+	}
+}
+
+// BenchmarkOCSPServeWarmCachePOST replays the same pre-signed response
+// through the POST transport: the body must be read per request, so this
+// sits between the GET fast path and the cold signer.
+func BenchmarkOCSPServeWarmCachePOST(b *testing.B) {
+	responder, caCert, _ := benchResponder(b)
+	cached := NewCachingResponder(responder)
+	body := (&Request{IDs: []CertID{NewCertID(caCert, big.NewInt(77))}}).Marshal()
+	w := &discardRW{}
+	warm := httptest.NewRequest(http.MethodPost, "/", bytes.NewReader(body))
+	cached.ServeHTTP(w, warm)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.reset()
+		req := httptest.NewRequest(http.MethodPost, "/", bytes.NewReader(body))
+		cached.ServeHTTP(w, req)
+	}
+}

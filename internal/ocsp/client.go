@@ -47,22 +47,42 @@ func (c *Client) httpClient() *http.Client {
 // certificate with the given serial, issued by issuer. It verifies the
 // response signature against the issuer before returning it.
 func (c *Client) Check(responderURL string, issuer *x509x.Certificate, serial *big.Int) (SingleResponse, error) {
-	id := NewCertID(issuer, serial)
-	resp, err := c.Fetch(responderURL, &Request{IDs: []CertID{id}})
+	srs, err := c.CheckBatch(responderURL, issuer, []*big.Int{serial})
 	if err != nil {
 		return SingleResponse{}, err
 	}
+	return srs[0], nil
+}
+
+// CheckBatch asks the responder for the status of several certificates
+// from the same issuer in one HTTP exchange — RFC 6960 allows a request
+// to carry multiple Request entries. The response signature is verified
+// once for the whole batch; statuses are returned in serials order. An
+// error is global to the batch.
+func (c *Client) CheckBatch(responderURL string, issuer *x509x.Certificate, serials []*big.Int) ([]SingleResponse, error) {
+	ids := make([]CertID, len(serials))
+	for i, serial := range serials {
+		ids[i] = NewCertID(issuer, serial)
+	}
+	resp, err := c.Fetch(responderURL, &Request{IDs: ids})
+	if err != nil {
+		return nil, err
+	}
 	if resp.RespStatus != RespSuccessful {
-		return SingleResponse{}, fmt.Errorf("ocsp: responder returned %v", resp.RespStatus)
+		return nil, fmt.Errorf("ocsp: responder returned %v", resp.RespStatus)
 	}
 	if err := resp.VerifySignatureFrom(issuer); err != nil {
-		return SingleResponse{}, err
+		return nil, err
 	}
-	sr, ok := resp.Find(id)
-	if !ok {
-		return SingleResponse{}, errors.New("ocsp: response does not cover requested certificate")
+	out := make([]SingleResponse, len(ids))
+	for i, id := range ids {
+		sr, ok := resp.Find(id)
+		if !ok {
+			return nil, errors.New("ocsp: response does not cover requested certificate")
+		}
+		out[i] = sr
 	}
-	return sr, nil
+	return out, nil
 }
 
 // Fetch submits the request and parses the response without verifying

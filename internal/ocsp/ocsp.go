@@ -412,9 +412,37 @@ func CreateResponse(tmpl *ResponseTemplate, signer *x509x.Certificate, key *ecds
 }
 
 // CreateErrorResponse builds an unsigned error response (tryLater,
-// unauthorized, etc.).
+// unauthorized, etc.). The encoding is pure — same status, same bytes —
+// so hot paths should prefer ErrorResponseDER, which interns the common
+// statuses instead of re-encoding per request.
 func CreateErrorResponse(status ResponseStatus) []byte {
 	return der.Sequence(der.Enumerated(int64(status)))
+}
+
+// Interned encodings of the error statuses responders emit on hot paths.
+var (
+	errorDERMalformed    = CreateErrorResponse(RespMalformedRequest)
+	errorDERInternal     = CreateErrorResponse(RespInternalError)
+	errorDERTryLater     = CreateErrorResponse(RespTryLater)
+	errorDERUnauthorized = CreateErrorResponse(RespUnauthorized)
+)
+
+// ErrorResponseDER returns the pre-encoded DER for the common error
+// statuses, computed once at package init, falling back to a fresh
+// encoding for anything else. Callers must treat the bytes as read-only.
+func ErrorResponseDER(status ResponseStatus) []byte {
+	switch status {
+	case RespMalformedRequest:
+		return errorDERMalformed
+	case RespInternalError:
+		return errorDERInternal
+	case RespTryLater:
+		return errorDERTryLater
+	case RespUnauthorized:
+		return errorDERUnauthorized
+	default:
+		return CreateErrorResponse(status)
+	}
 }
 
 func encodeSingle(sr SingleResponse) ([]byte, error) {

@@ -15,7 +15,7 @@ import (
 
 var testNow = time.Date(2015, 3, 31, 12, 0, 0, 0, time.UTC)
 
-func newCA(t *testing.T) (*x509x.Certificate, *ecdsa.PrivateKey) {
+func newCA(t testing.TB) (*x509x.Certificate, *ecdsa.PrivateKey) {
 	t.Helper()
 	key, err := x509x.GenerateKey()
 	if err != nil {

@@ -3,9 +3,11 @@ package ocsp
 import (
 	"crypto/ecdsa"
 	"encoding/base64"
+	"errors"
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -28,7 +30,9 @@ type SourceFunc func(id CertID) SingleResponse
 func (f SourceFunc) StatusFor(id CertID) SingleResponse { return f(id) }
 
 // Responder is an HTTP OCSP responder supporting both GET and POST
-// transports (RFC 6960 Appendix A).
+// transports (RFC 6960 Appendix A). It signs a fresh response for every
+// query; wrap it in a CachingResponder to replay pre-signed responses the
+// way production CAs and their CDNs do (§2.2, §5).
 type Responder struct {
 	Source Source
 	// Signer is the certificate whose key signs responses — the issuing
@@ -63,47 +67,59 @@ func (r *Responder) validity() time.Duration {
 	return 4 * 24 * time.Hour
 }
 
-// ServeHTTP implements http.Handler.
-func (r *Responder) ServeHTTP(w http.ResponseWriter, httpReq *http.Request) {
-	var reqDER []byte
+// errMethodNotAllowed marks HTTP methods outside GET/POST.
+var errMethodNotAllowed = errors.New("ocsp: method not allowed")
+
+// requestDERFromHTTP extracts the DER-encoded OCSP request from its HTTP
+// carrier: the base64 URL path for GET (RFC 6960 A.1), the body for POST.
+func requestDERFromHTTP(httpReq *http.Request) ([]byte, error) {
 	switch httpReq.Method {
 	case http.MethodGet:
-		// The request is the URL-escaped base64 encoding of the DER
-		// request, appended to the responder URL (RFC 6960 A.1). The
-		// base64 alphabet includes '/', so the encoding may span what
-		// looks like multiple path segments; take the whole escaped
-		// path rather than the last segment.
+		// The base64 alphabet includes '/', so the encoding may span what
+		// looks like multiple path segments; take the whole escaped path
+		// rather than the last segment. Clients differ on whether they
+		// percent-escape the base64 (the RFC says to) or append it raw,
+		// '+' and '=' included; accept both by trying the unescaped form
+		// first and falling back to the raw path.
 		seg := strings.TrimPrefix(httpReq.URL.EscapedPath(), "/")
-		unescaped, err := url.PathUnescape(seg)
-		if err != nil {
-			r.writeError(w, RespMalformedRequest)
-			return
+		if unescaped, err := url.PathUnescape(seg); err == nil {
+			if reqDER, err := base64.StdEncoding.DecodeString(unescaped); err == nil {
+				return reqDER, nil
+			}
 		}
-		reqDER, err = base64.StdEncoding.DecodeString(unescaped)
-		if err != nil {
-			r.writeError(w, RespMalformedRequest)
-			return
-		}
+		return base64.StdEncoding.DecodeString(seg)
 	case http.MethodPost:
-		var err error
-		reqDER, err = io.ReadAll(io.LimitReader(httpReq.Body, 1<<20))
-		if err != nil {
-			r.writeError(w, RespInternalError)
-			return
-		}
+		return io.ReadAll(io.LimitReader(httpReq.Body, 1<<20))
 	default:
+		return nil, errMethodNotAllowed
+	}
+}
+
+// decodeHTTPRequest pulls the DER request out of httpReq, writing the
+// appropriate HTTP or OCSP error itself when that fails.
+func decodeHTTPRequest(w http.ResponseWriter, httpReq *http.Request) ([]byte, bool) {
+	reqDER, err := requestDERFromHTTP(httpReq)
+	switch {
+	case err == errMethodNotAllowed:
 		w.WriteHeader(http.StatusMethodNotAllowed)
-		return
+		return nil, false
+	case err != nil && httpReq.Method == http.MethodPost:
+		writeError(w, RespInternalError)
+		return nil, false
+	case err != nil:
+		writeError(w, RespMalformedRequest)
+		return nil, false
 	}
+	return reqDER, true
+}
 
-	req, err := ParseRequest(reqDER)
-	if err != nil || len(req.IDs) == 0 {
-		r.writeError(w, RespMalformedRequest)
-		return
+// template assembles the response template for req at time now, applying
+// ForceStatus and filling default update windows.
+func (r *Responder) template(req *Request, now time.Time) *ResponseTemplate {
+	tmpl := &ResponseTemplate{
+		ProducedAt: now,
+		Responses:  make([]SingleResponse, 0, len(req.IDs)),
 	}
-
-	now := r.now()
-	tmpl := &ResponseTemplate{ProducedAt: now}
 	if r.EchoNonce {
 		tmpl.Nonce = req.Nonce
 	}
@@ -123,16 +139,37 @@ func (r *Responder) ServeHTTP(w http.ResponseWriter, httpReq *http.Request) {
 		}
 		tmpl.Responses = append(tmpl.Responses, sr)
 	}
-	respDER, err := CreateResponse(tmpl, r.Signer, r.Key)
-	if err != nil {
-		r.writeError(w, RespInternalError)
+	return tmpl
+}
+
+// ServeHTTP implements http.Handler.
+func (r *Responder) ServeHTTP(w http.ResponseWriter, httpReq *http.Request) {
+	reqDER, ok := decodeHTTPRequest(w, httpReq)
+	if !ok {
 		return
 	}
-	w.Header().Set("Content-Type", "application/ocsp-response")
+	req, err := ParseRequest(reqDER)
+	if err != nil || len(req.IDs) == 0 {
+		writeError(w, RespMalformedRequest)
+		return
+	}
+	respDER, err := CreateResponse(r.template(req, r.now()), r.Signer, r.Key)
+	if err != nil {
+		writeError(w, RespInternalError)
+		return
+	}
+	writeDER(w, respDER)
+}
+
+// writeDER sends an OCSP response body with its framing headers.
+func writeDER(w http.ResponseWriter, respDER []byte) {
+	h := w.Header()
+	h.Set("Content-Type", "application/ocsp-response")
+	h.Set("Content-Length", strconv.Itoa(len(respDER)))
 	w.Write(respDER)
 }
 
-func (r *Responder) writeError(w http.ResponseWriter, status ResponseStatus) {
-	w.Header().Set("Content-Type", "application/ocsp-response")
-	w.Write(CreateErrorResponse(status))
+// writeError sends one of the interned error responses.
+func writeError(w http.ResponseWriter, status ResponseStatus) {
+	writeDER(w, ErrorResponseDER(status))
 }

@@ -1,0 +1,190 @@
+package simnet
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// CDN is an http.Handler modelling the CDN cache tier real CAs put in
+// front of their OCSP responders and CRL servers (§2.2, §5): GET
+// responses are stored for the freshness lifetime their Cache-Control
+// max-age / Expires headers declare and replayed without touching the
+// origin, conditional requests revalidate against the stored ETag, and
+// everything else passes through. Hit/miss counters expose the cache
+// economics the paper attributes to pre-produced responses.
+//
+// The model is deliberately a single shared cache (one "edge"); per-POP
+// effects are out of scope. Vary is ignored — the origin handlers here
+// never produce content-negotiated responses.
+type CDN struct {
+	// Origin receives misses and non-GET traffic.
+	Origin http.Handler
+	// Now supplies cache time; time.Now when nil. The simulation points
+	// this at the virtual clock so entries expire in simulated time.
+	Now func() time.Time
+
+	mu      sync.Mutex
+	entries map[string]*cdnEntry
+	stats   CDNStats
+}
+
+// CDNStats counts cache outcomes.
+type CDNStats struct {
+	// Hits are GETs served from cache, including 304 revalidations.
+	Hits int64
+	// Misses are GETs forwarded to the origin (no entry, or expired).
+	Misses int64
+	// Bypasses are non-GET requests, always forwarded.
+	Bypasses int64
+	// NotModified counts the subset of Hits answered 304 via ETag.
+	NotModified int64
+}
+
+// HitRatio returns Hits / (Hits + Misses), or 0 with no GET traffic.
+func (s CDNStats) HitRatio() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+type cdnEntry struct {
+	status  int
+	header  http.Header
+	body    []byte
+	stored  time.Time
+	expires time.Time
+}
+
+// NewCDN returns an empty cache in front of origin. now may be nil.
+func NewCDN(origin http.Handler, now func() time.Time) *CDN {
+	return &CDN{Origin: origin, Now: now, entries: make(map[string]*cdnEntry)}
+}
+
+func (c *CDN) now() time.Time {
+	if c.Now != nil {
+		return c.Now()
+	}
+	return time.Now()
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *CDN) Stats() CDNStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// ServeHTTP implements http.Handler.
+func (c *CDN) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		c.mu.Lock()
+		c.stats.Bypasses++
+		c.mu.Unlock()
+		c.Origin.ServeHTTP(w, r)
+		return
+	}
+	key := r.URL.String()
+	now := c.now()
+	c.mu.Lock()
+	e := c.entries[key]
+	if e != nil && now.Before(e.expires) {
+		c.stats.Hits++
+		c.mu.Unlock()
+		c.serve(w, r, e, now, true)
+		return
+	}
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	// Fetch from origin with conditionals stripped, so the cache always
+	// stores a full response even when the client sent If-None-Match.
+	fwd := r
+	if r.Header.Get("If-None-Match") != "" || r.Header.Get("If-Modified-Since") != "" {
+		fwd = r.Clone(r.Context())
+		fwd.Header.Del("If-None-Match")
+		fwd.Header.Del("If-Modified-Since")
+	}
+	rec := &recorder{}
+	c.Origin.ServeHTTP(rec, fwd)
+	if rec.code == 0 {
+		rec.code = http.StatusOK
+	}
+	header := rec.header
+	if header == nil {
+		header = http.Header{}
+	}
+	e = &cdnEntry{status: rec.code, header: header, body: rec.body, stored: now}
+	if rec.code == http.StatusOK {
+		if ttl, ok := freshnessLifetime(header, now); ok && ttl > 0 {
+			e.expires = now.Add(ttl)
+			c.mu.Lock()
+			c.entries[key] = e
+			c.mu.Unlock()
+		}
+	}
+	c.serve(w, r, e, now, false)
+}
+
+// serve replays a stored (or just-fetched) response, answering 304 when
+// the client's validator matches a cache hit.
+func (c *CDN) serve(w http.ResponseWriter, r *http.Request, e *cdnEntry, now time.Time, hit bool) {
+	h := w.Header()
+	for k, vs := range e.header {
+		h[k] = append(h[k], vs...)
+	}
+	if hit {
+		h.Set("X-Cache", "HIT")
+		h.Set("Age", strconv.FormatInt(int64(now.Sub(e.stored)/time.Second), 10))
+		if etag := e.header.Get("ETag"); etag != "" && r.Header.Get("If-None-Match") == etag {
+			c.mu.Lock()
+			c.stats.NotModified++
+			c.mu.Unlock()
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	} else {
+		h.Set("X-Cache", "MISS")
+	}
+	w.WriteHeader(e.status)
+	w.Write(e.body)
+}
+
+// Flush drops every cached entry (an operator purge).
+func (c *CDN) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*cdnEntry)
+}
+
+// freshnessLifetime derives how long a response may be served from cache:
+// Cache-Control max-age wins over Expires (RFC 9111 §4.2.1), and
+// no-store / no-cache / private forbid caching outright.
+func freshnessLifetime(h http.Header, now time.Time) (time.Duration, bool) {
+	if cc := h.Get("Cache-Control"); cc != "" {
+		maxAge, haveMaxAge := time.Duration(0), false
+		for _, part := range strings.Split(cc, ",") {
+			part = strings.TrimSpace(part)
+			switch {
+			case part == "no-store" || part == "no-cache" || part == "private":
+				return 0, false
+			case strings.HasPrefix(part, "max-age="):
+				if secs, err := strconv.Atoi(part[len("max-age="):]); err == nil {
+					maxAge, haveMaxAge = time.Duration(secs)*time.Second, true
+				}
+			}
+		}
+		if haveMaxAge {
+			return maxAge, true
+		}
+	}
+	if exp := h.Get("Expires"); exp != "" {
+		if t, err := http.ParseTime(exp); err == nil {
+			return t.Sub(now), true
+		}
+	}
+	return 0, false
+}
