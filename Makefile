@@ -1,11 +1,13 @@
 GO ?= go
 
-.PHONY: check vet build test race race-hot bench-smoke bench bench-all
+.PHONY: check vet build test race race-hot bench-smoke bench bench-all chaos fuzz-short
 
 # check is the full pre-merge gate: static checks, race-enabled tests on
-# the concurrency-hot packages and then the whole tree, and a
-# one-iteration smoke of the end-to-end world-build benchmark.
-check: vet build race-hot race bench-smoke
+# the concurrency-hot packages and then the whole tree, the chaos
+# differential harness on its fixed seeds, a short fuzz pass over the
+# DER-facing parsers, and a one-iteration smoke of the end-to-end
+# world-build benchmark.
+check: vet build race-hot race chaos fuzz-short bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -20,9 +22,23 @@ race:
 	$(GO) test -race ./...
 
 # race-hot gives fast feedback on the packages where the serving-layer
-# concurrency lives (pre-signed OCSP cache, batched crawler pool).
+# concurrency lives (pre-signed OCSP cache, batched crawler pool, fault
+# injector, chaos harness).
 race-hot:
-	$(GO) test -race ./internal/ocsp ./internal/crawler
+	$(GO) test -race ./internal/ocsp ./internal/crawler ./internal/faultnet/...
+
+# chaos runs the seeded fault-injection differential harness: fixed seeds,
+# each played twice faulted and once clean, asserting determinism,
+# convergence, and no stale Good.
+chaos:
+	$(GO) run ./cmd/chaos -seeds 20150501,3,77,424242
+
+# fuzz-short gives each DER-facing fuzz target a 10s budget — enough to
+# exercise the corpus plus some fresh mutations on every merge.
+fuzz-short:
+	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=10s ./internal/der
+	$(GO) test -run='^$$' -fuzz=FuzzParseCRL -fuzztime=10s ./internal/crl
+	$(GO) test -run='^$$' -fuzz=FuzzParseCRLSet -fuzztime=10s ./internal/crlset
 
 # bench-smoke builds one world end to end under the benchmark harness —
 # enough to catch pipeline regressions without paying for stable timings.

@@ -1,0 +1,96 @@
+// Command chaos drives the chaos differential harness from the command
+// line: for each seed it plays the seeded world twice under fault
+// injection (checking the runs are identical), once fault-free (checking
+// the faulted crawl converged to the clean revocation database), and
+// reports the fault tallies and invariant verdicts. A non-zero exit means
+// an invariant broke.
+//
+// Usage:
+//
+//	chaos [-seeds 20150501,3,77] [-days 8] [-tail 3] [-certs 14]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+	"strconv"
+	"strings"
+
+	"repro/internal/faultnet/chaostest"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seedList := fs.String("seeds", "20150501,3,77", "comma-separated chaos seeds")
+	days := fs.Int("days", 8, "fault-exposed simulated days per run")
+	tail := fs.Int("tail", 3, "fault-free tail days per run")
+	certs := fs.Int("certs", 14, "certificates per CA")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var seeds []uint64
+	for _, s := range strings.Split(*seedList, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			fmt.Fprintf(stderr, "chaos: bad seed %q: %v\n", s, err)
+			return 2
+		}
+		seeds = append(seeds, v)
+	}
+
+	failures := 0
+	fmt.Fprintf(stdout, "%-12s %-9s %-6s %-7s %-8s %-12s %-11s %s\n",
+		"seed", "requests", "kinds", "revoked", "retries", "determinism", "convergence", "stale-good")
+	for _, seed := range seeds {
+		opts := chaostest.Options{Seed: seed, Days: *days, Tail: *tail, CertsPerCA: *certs, Faulty: true}
+		first, err := chaostest.Run(opts)
+		if err != nil {
+			fmt.Fprintf(stderr, "chaos: seed %d: %v\n", seed, err)
+			return 1
+		}
+		second, err := chaostest.Run(opts)
+		if err != nil {
+			fmt.Fprintf(stderr, "chaos: seed %d: %v\n", seed, err)
+			return 1
+		}
+		cleanOpts := opts
+		cleanOpts.Faulty = false
+		clean, err := chaostest.Run(cleanOpts)
+		if err != nil {
+			fmt.Fprintf(stderr, "chaos: seed %d: %v\n", seed, err)
+			return 1
+		}
+
+		deterministic := first.Faults.Digest == second.Faults.Digest &&
+			first.Decisions == second.Decisions &&
+			first.RevDB == second.RevDB &&
+			reflect.DeepEqual(first.Crawl, second.Crawl)
+		converged := first.RevDB == clean.RevDB && first.Revoked == clean.Revoked
+		staleGood := first.StaleGoodViolations + clean.StaleGoodViolations
+
+		verdict := func(ok bool) string {
+			if ok {
+				return "ok"
+			}
+			failures++
+			return "FAIL"
+		}
+		fmt.Fprintf(stdout, "%-12d %-9d %-6d %-7d %-8d %-12s %-11s %s\n",
+			seed, first.Faults.Requests, first.Faults.Kinds(), first.Revoked,
+			first.Crawl.Retries+first.Crawl.OCSPRetries,
+			verdict(deterministic), verdict(converged), verdict(staleGood == 0))
+	}
+	if failures > 0 {
+		fmt.Fprintf(stderr, "chaos: %d invariant failures\n", failures)
+		return 1
+	}
+	return 0
+}

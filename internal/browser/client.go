@@ -1,6 +1,7 @@
 package browser
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/crl"
+	"repro/internal/faultnet"
 	"repro/internal/ocsp"
 	"repro/internal/x509x"
 )
@@ -82,6 +84,22 @@ type Client struct {
 	// evaluations until their validity windows lapse, as real browsers
 	// do (§2.2).
 	Cache *Cache
+	// Timeout bounds each revocation fetch, the way real browsers cap
+	// OCSP lookups at a few seconds before soft-failing (§6.2). It is
+	// applied as a context deadline and as a faultnet virtual-time
+	// budget, so an unresponsive responder resolves as "unavailable"
+	// instead of hanging the handshake. 0 means unbounded.
+	Timeout time.Duration
+}
+
+// fetchCtx returns the per-fetch context implied by Timeout.
+func (c *Client) fetchCtx() (context.Context, context.CancelFunc) {
+	ctx := context.Background()
+	if c.Timeout <= 0 {
+		return ctx, func() {}
+	}
+	ctx = faultnet.WithBudget(ctx, c.Timeout)
+	return context.WithTimeout(ctx, c.Timeout)
 }
 
 func (c *Client) now() time.Time {
@@ -274,7 +292,9 @@ func (c *Client) fetchOCSP(v *Verdict, cert, issuer *x509x.Certificate, pos Posi
 	client := &ocsp.Client{HTTP: c.HTTP}
 	var last status = stUnavailable
 	for _, url := range cert.OCSPServers {
-		sr, err := client.Check(url, issuer, cert.SerialNumber)
+		ctx, cancel := c.fetchCtx()
+		sr, err := client.CheckContext(ctx, url, issuer, cert.SerialNumber)
+		cancel()
 		if err != nil {
 			c.log(v, cert, pos, "ocsp", "unavailable")
 			continue
@@ -329,7 +349,13 @@ func (c *Client) downloadCRL(url string) (*crl.CRL, error) {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	resp, err := httpClient.Get(url)
+	ctx, cancel := c.fetchCtx()
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := httpClient.Do(req)
 	if err != nil {
 		return nil, err
 	}

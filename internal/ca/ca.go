@@ -21,6 +21,7 @@ import (
 	"math/big"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/crl"
@@ -79,6 +80,13 @@ type Config struct {
 	// OCSP-signing certificate (id-kp-OCSPSigning EKU, RFC 6960
 	// §4.2.2.2) and sign responses with it instead of the CA key.
 	DelegatedOCSP bool
+	// PublishRevocationsImmediately makes the HTTP handler regenerate a
+	// shard's CRL as soon as a revocation lands in it, instead of
+	// serving the cached copy until its validity window lapses. Real
+	// CAs batch revocations into periodic re-signs (the paper-faithful
+	// default); the chaos harness and the availability experiment opt
+	// in so a revocation becomes observable on the very next fetch.
+	PublishRevocationsImmediately bool
 	// Clock supplies the current (virtual) time; time.Now when nil.
 	Clock func() time.Time
 	// Seed makes serial-number generation deterministic.
@@ -168,6 +176,11 @@ type CA struct {
 	// revokeHooks run after every successful Revoke, outside the CA lock.
 	// The OCSP serving cache registers here to evict pre-signed entries.
 	revokeHooks []func(serial *big.Int)
+
+	// revEpoch counts successful Revoke calls; the CRL-serving cache
+	// compares it against the epoch a cached shard was built at when
+	// PublishRevocationsImmediately is set.
+	revEpoch atomic.Int64
 }
 
 func serialKey(serial *big.Int) string { return string(serial.Bytes()) }
@@ -443,6 +456,7 @@ func (ca *CA) Revoke(serial *big.Int, at time.Time, reason crl.Reason) error {
 	ca.shardSeq[rec.Shard]++
 	hooks := ca.revokeHooks
 	ca.mu.Unlock()
+	ca.revEpoch.Add(1)
 	for _, fn := range hooks {
 		fn(serial)
 	}

@@ -478,3 +478,46 @@ func TestShardSkewConcentrates(t *testing.T) {
 		t.Errorf("population total = %d", total)
 	}
 }
+
+func TestPublishRevocationsImmediately(t *testing.T) {
+	authority, clock := newTestCA(t, func(c *Config) {
+		c.CRLValidity = 24 * time.Hour
+		c.PublishRevocationsImmediately = true
+	})
+	rec := authority.IssueRecord(issueOpts(clock, "i"))
+	srv := httptest.NewServer(authority.Handler())
+	defer srv.Close()
+
+	fetch := func() *crl.CRL {
+		resp, err := http.Get(srv.URL + "/crl/" + itoa(rec.Shard) + ".crl")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		parsed, err := crl.Parse(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return parsed
+	}
+	first := fetch()
+	if first.Contains(rec.Serial) {
+		t.Fatal("fresh CRL already contains the serial")
+	}
+	// Revoke well inside the validity window: the very next fetch must
+	// carry the revocation instead of the cached copy.
+	clock.Advance(time.Hour)
+	if err := authority.Revoke(rec.Serial, clock.Now(), crl.ReasonKeyCompromise); err != nil {
+		t.Fatal(err)
+	}
+	second := fetch()
+	if !second.Contains(rec.Serial) {
+		t.Error("revocation not published on next fetch despite PublishRevocationsImmediately")
+	}
+	// No further revocations: the regenerated copy is cached again.
+	third := fetch()
+	if !third.ThisUpdate.Equal(second.ThisUpdate) {
+		t.Error("CRL regenerated without an intervening revocation")
+	}
+}

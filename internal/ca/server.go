@@ -67,23 +67,30 @@ type crlCache struct {
 type crlCacheEntry struct {
 	body    []byte
 	expires time.Time
+	// epoch is the CA's revocation epoch when the entry was built; with
+	// PublishRevocationsImmediately set, a later revocation anywhere in
+	// the CA invalidates the entry even inside its validity window.
+	epoch int64
 }
 
 func (c *crlCache) get(shard int) ([]byte, time.Time, error) {
 	now := c.ca.now()
+	epoch := c.ca.revEpoch.Load()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.entries == nil {
 		c.entries = make(map[int]crlCacheEntry)
 	}
 	if e, ok := c.entries[shard]; ok && now.Before(e.expires) {
-		return e.body, e.expires, nil
+		if !c.ca.cfg.PublishRevocationsImmediately || e.epoch == epoch {
+			return e.body, e.expires, nil
+		}
 	}
 	body, err := c.ca.CRLBytes(shard)
 	if err != nil {
 		return nil, time.Time{}, err
 	}
 	expires := now.Add(c.ca.cfg.CRLValidity)
-	c.entries[shard] = crlCacheEntry{body: body, expires: expires}
+	c.entries[shard] = crlCacheEntry{body: body, expires: expires, epoch: epoch}
 	return body, expires, nil
 }

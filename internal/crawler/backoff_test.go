@@ -1,0 +1,27 @@
+package crawler
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffDeterministicJitter: retry delays are a pure function of
+// (URL, attempt) — doubled per attempt, with per-URL jitter so a fleet
+// of crawlers does not thunder in phase.
+func TestBackoffDeterministicJitter(t *testing.T) {
+	c := &Crawler{Backoff: 100 * time.Millisecond}
+	a1 := c.backoffDelay("http://crl.a.test/0.crl", 1)
+	if a1 != c.backoffDelay("http://crl.a.test/0.crl", 1) {
+		t.Fatal("backoff not deterministic")
+	}
+	if a2 := c.backoffDelay("http://crl.a.test/0.crl", 2); a2 <= a1 {
+		t.Fatalf("attempt 2 delay %v not above attempt 1 %v", a2, a1)
+	}
+	if b1 := c.backoffDelay("http://crl.b.test/0.crl", 1); b1 == a1 {
+		t.Fatal("distinct URLs share identical jitter")
+	}
+	lo, hi := 100*time.Millisecond, 200*time.Millisecond
+	if a1 < lo || a1 > hi {
+		t.Fatalf("first retry delay %v outside [%v, %v]", a1, lo, hi)
+	}
+}

@@ -5,11 +5,19 @@
 //
 // The crawler is transport-agnostic: point it at a simnet client and the
 // virtual clock for simulation, or at http.DefaultClient for the real
-// internet.
+// internet. It degrades gracefully against an unreliable substrate:
+// failed fetches are retried with exponential backoff and deterministic
+// jitter, each attempt carries a timeout budget, failures are classified
+// by layer (transport, HTTP status, read, parse, verify), and — when
+// enabled — the last good copy of a CRL is served stale rather than
+// dropping the URL from the snapshot.
 package crawler
 
 import (
+	"context"
 	"crypto/sha256"
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math/big"
@@ -19,15 +27,109 @@ import (
 	"time"
 
 	"repro/internal/crl"
+	"repro/internal/faultnet"
 	"repro/internal/ocsp"
 	"repro/internal/x509x"
 )
+
+// FailureClass attributes a fetch failure to the layer that produced it,
+// so availability experiments can distinguish "the responder is down"
+// from "the responder answered garbage" (§5).
+type FailureClass int
+
+// Failure classes.
+const (
+	// ClassTransport: the HTTP exchange itself failed (connection error,
+	// timeout, DNS).
+	ClassTransport FailureClass = iota
+	// ClassHTTPStatus: the server answered with a non-200 status.
+	ClassHTTPStatus
+	// ClassRead: the body ended early or could not be read.
+	ClassRead
+	// ClassParse: the body was not a parseable CRL (or OCSP response).
+	ClassParse
+	// ClassVerify: the CRL parsed but its signature did not verify
+	// against the pinned issuer.
+	ClassVerify
+)
+
+func (c FailureClass) String() string {
+	switch c {
+	case ClassTransport:
+		return "transport"
+	case ClassHTTPStatus:
+		return "http-status"
+	case ClassRead:
+		return "read"
+	case ClassParse:
+		return "parse"
+	case ClassVerify:
+		return "verify"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// FetchError is a classified fetch failure.
+type FetchError struct {
+	URL   string
+	Class FailureClass
+	// Code is the HTTP status for ClassHTTPStatus failures, 0 otherwise.
+	Code int
+	Err  error
+}
+
+func (e *FetchError) Error() string {
+	return fmt.Sprintf("crawler: %s: %s: %v", e.URL, e.Class, e.Err)
+}
+
+func (e *FetchError) Unwrap() error { return e.Err }
+
+// FetchStats aggregates the crawler's degradation accounting. All fields
+// are cumulative across crawls; read a copy via Crawler.Stats.
+type FetchStats struct {
+	// Attempts counts individual CRL fetch attempts (including retries).
+	Attempts int64
+	// Retries counts attempts after the first for a given URL and crawl.
+	Retries int64
+	// Successes counts fetches that produced a verified CRL.
+	Successes int64
+	// GaveUp counts fetches that exhausted their retry budget.
+	GaveUp int64
+	// StaleServed counts crawl slots filled from the last good copy
+	// after a fetch gave up (ServeStale).
+	StaleServed int64
+	// BackoffTotal is the cumulative (virtual) backoff delay scheduled
+	// between retries.
+	BackoffTotal time.Duration
+
+	// Per-class CRL failure counts (each failed attempt counts once).
+	TransportErrors int64
+	HTTPErrors      int64
+	ReadErrors      int64
+	ParseErrors     int64
+	VerifyErrors    int64
+
+	// OCSP-only check accounting. Transport failures ("the responder is
+	// unreachable") are attributed separately from well-formed OCSP
+	// error responses ("the responder is up but declined") and HTTP
+	// front-end errors.
+	OCSPAttempts        int64
+	OCSPRetries         int64
+	OCSPTransportErrors int64
+	OCSPHTTPErrors      int64
+	OCSPResponderErrors int64
+	OCSPOtherErrors     int64
+}
 
 // Snapshot is the outcome of one crawl day.
 type Snapshot struct {
 	Day time.Time
 	// CRLs maps distribution-point URL to the parsed CRL.
 	CRLs map[string]*crl.CRL
+	// Stale marks URLs whose CRL slot was filled from the last good
+	// fetch of an earlier crawl because every attempt this crawl failed.
+	Stale map[string]bool
 	// Failures maps URL to the error that prevented its download.
 	Failures map[string]error
 	// Bytes is the total body size downloaded.
@@ -56,6 +158,28 @@ type Crawler struct {
 	// certificate.
 	OCSPBatchSize int
 
+	// Timeout bounds each fetch attempt. It is applied both as a real
+	// context deadline and as a faultnet virtual-time budget, so a hung
+	// responder costs the crawl at most Timeout (and, under simulation,
+	// no real time at all). 0 means unbounded.
+	Timeout time.Duration
+	// Retries is how many additional attempts follow a retryable
+	// failure (transport, read, 5xx, parse, verify). 0 means one
+	// attempt. Permanent failures (HTTP 4xx) are not retried.
+	Retries int
+	// Backoff is the base delay before the first retry; it doubles per
+	// retry with deterministic per-URL jitter. Default 100 ms. The delay
+	// is recorded in FetchStats (and slept through Sleep when set).
+	Backoff time.Duration
+	// Sleep, when set, is called with each backoff delay. Leave nil in
+	// simulations: backoff then costs virtual bookkeeping only.
+	Sleep func(time.Duration)
+	// ServeStale fills a failed URL's snapshot slot with the last good
+	// parse from an earlier crawl, marking it in Snapshot.Stale. This
+	// mirrors clients that keep using a cached CRL until its
+	// nextUpdate passes.
+	ServeStale bool
+
 	// cacheMu guards the content-addressed parse cache: most CRLs are
 	// unchanged from one daily crawl to the next, so an identical body
 	// is returned as the identical *crl.CRL without re-parsing or
@@ -63,10 +187,16 @@ type Crawler struct {
 	// contract — downstream delta ingestion relies on it.
 	cacheMu    sync.Mutex
 	parseCache map[[sha256.Size]byte]*parsedCRL
+	// lastGood maps URL to its most recent successfully fetched CRL,
+	// preserving parse-cache pointer identity for stale serving.
+	lastGood map[string]*crl.CRL
 	// ParseCacheHits counts fetches served from the parse cache. It is
 	// updated under the crawler's internal lock; read it only between
 	// crawls.
 	ParseCacheHits int64
+
+	statsMu sync.Mutex
+	stats   FetchStats
 }
 
 // parsedCRL is one parse-cache slot. verifiedBy records the issuer
@@ -91,6 +221,54 @@ func (c *Crawler) now() time.Time {
 	return time.Now()
 }
 
+// Stats returns a copy of the crawler's cumulative degradation stats.
+func (c *Crawler) Stats() FetchStats {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.stats
+}
+
+func (c *Crawler) bump(f func(*FetchStats)) {
+	c.statsMu.Lock()
+	f(&c.stats)
+	c.statsMu.Unlock()
+}
+
+// attemptCtx returns the per-attempt context: a real deadline plus a
+// faultnet virtual-time budget when Timeout is set.
+func (c *Crawler) attemptCtx() (context.Context, context.CancelFunc) {
+	ctx := context.Background()
+	if c.Timeout <= 0 {
+		return ctx, func() {}
+	}
+	ctx = faultnet.WithBudget(ctx, c.Timeout)
+	return context.WithTimeout(ctx, c.Timeout)
+}
+
+// backoffDelay is the deterministic delay before retry number n (n ≥ 1)
+// of url: Backoff·2^(n-1) plus up to one Backoff of per-(url, n) jitter.
+func (c *Crawler) backoffDelay(url string, n int) time.Duration {
+	base := c.Backoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	d := base << uint(n-1)
+	h := sha256.Sum256([]byte(fmt.Sprintf("%s#%d", url, n)))
+	jitter := time.Duration(binary.BigEndian.Uint64(h[:8]) % uint64(base))
+	return d + jitter
+}
+
+func (c *Crawler) backOff(url string, n int) {
+	d := c.backoffDelay(url, n)
+	c.bump(func(s *FetchStats) {
+		s.Retries++
+		s.BackoffTotal += d
+	})
+	if c.Sleep != nil {
+		c.Sleep(d)
+	}
+}
+
 // CrawlCRLs downloads and parses every URL, returning one snapshot.
 // Downloads run with the configured parallelism; the snapshot is
 // assembled under a lock, so results are complete regardless of order.
@@ -98,40 +276,48 @@ func (c *Crawler) CrawlCRLs(urls []string) *Snapshot {
 	snap := &Snapshot{
 		Day:      c.now(),
 		CRLs:     make(map[string]*crl.CRL, len(urls)),
+		Stale:    make(map[string]bool),
 		Failures: make(map[string]error),
+	}
+	var mu sync.Mutex
+	record := func(u string, parsed *crl.CRL, n int64, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		snap.Bytes += n
+		if err == nil {
+			snap.CRLs[u] = parsed
+			return
+		}
+		if c.ServeStale {
+			c.cacheMu.Lock()
+			stale := c.lastGood[u]
+			c.cacheMu.Unlock()
+			if stale != nil {
+				snap.CRLs[u] = stale
+				snap.Stale[u] = true
+				c.bump(func(s *FetchStats) { s.StaleServed++ })
+				return
+			}
+		}
+		snap.Failures[u] = err
 	}
 	workers := c.Parallelism
 	if workers <= 1 {
 		for _, u := range urls {
 			parsed, n, err := c.fetchOne(u)
-			snap.Bytes += n
-			if err != nil {
-				snap.Failures[u] = err
-				continue
-			}
-			snap.CRLs[u] = parsed
+			record(u, parsed, n, err)
 		}
 		return snap
 	}
-	var (
-		mu   sync.Mutex
-		wg   sync.WaitGroup
-		work = make(chan string)
-	)
+	var wg sync.WaitGroup
+	work := make(chan string)
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for u := range work {
 				parsed, n, err := c.fetchOne(u)
-				mu.Lock()
-				snap.Bytes += n
-				if err != nil {
-					snap.Failures[u] = err
-				} else {
-					snap.CRLs[u] = parsed
-				}
-				mu.Unlock()
+				record(u, parsed, n, err)
 			}
 		}()
 	}
@@ -143,14 +329,82 @@ func (c *Crawler) CrawlCRLs(urls []string) *Snapshot {
 	return snap
 }
 
+// fetchOne downloads url with the retry/backoff policy, returning the
+// parsed CRL (success updates the stale-serving copy) or the final
+// classified error once the retry budget is spent.
 func (c *Crawler) fetchOne(u string) (*crl.CRL, int64, error) {
-	resp, err := c.client().Get(u)
+	attempts := c.Retries + 1
+	if attempts < 1 {
+		attempts = 1
+	}
+	var total int64
+	var last *FetchError
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			c.backOff(u, i)
+		}
+		c.bump(func(s *FetchStats) { s.Attempts++ })
+		parsed, n, ferr := c.fetchAttempt(u)
+		total += n
+		if ferr == nil {
+			c.bump(func(s *FetchStats) { s.Successes++ })
+			c.cacheMu.Lock()
+			if c.lastGood == nil {
+				c.lastGood = make(map[string]*crl.CRL)
+			}
+			c.lastGood[u] = parsed
+			c.cacheMu.Unlock()
+			return parsed, total, nil
+		}
+		last = ferr
+		c.bump(func(s *FetchStats) {
+			switch ferr.Class {
+			case ClassTransport:
+				s.TransportErrors++
+			case ClassHTTPStatus:
+				s.HTTPErrors++
+			case ClassRead:
+				s.ReadErrors++
+			case ClassParse:
+				s.ParseErrors++
+			case ClassVerify:
+				s.VerifyErrors++
+			}
+		})
+		if !retryableClass(ferr) {
+			break
+		}
+	}
+	c.bump(func(s *FetchStats) { s.GaveUp++ })
+	return nil, total, last
+}
+
+// retryableClass reports whether another attempt could plausibly
+// succeed. Transport, read, parse, and verify failures are transient in
+// an unreliable-network model (corruption in flight); HTTP failures are
+// retried only for 5xx — a 404 is authoritative.
+func retryableClass(e *FetchError) bool {
+	if e.Class != ClassHTTPStatus {
+		return true
+	}
+	return e.Code >= 500
+}
+
+// fetchAttempt performs one download attempt and classifies its failure.
+func (c *Crawler) fetchAttempt(u string) (*crl.CRL, int64, *FetchError) {
+	ctx, cancel := c.attemptCtx()
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
-		return nil, 0, fmt.Errorf("crawler: %s: %w", u, err)
+		return nil, 0, &FetchError{URL: u, Class: ClassTransport, Err: err}
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return nil, 0, &FetchError{URL: u, Class: ClassTransport, Err: err}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, 0, fmt.Errorf("crawler: %s: HTTP %d", u, resp.StatusCode)
+		return nil, 0, &FetchError{URL: u, Class: ClassHTTPStatus, Code: resp.StatusCode, Err: fmt.Errorf("HTTP %d", resp.StatusCode)}
 	}
 	limit := c.MaxCRLBytes
 	if limit <= 0 {
@@ -162,10 +416,10 @@ func (c *Crawler) fetchOne(u string) (*crl.CRL, int64, error) {
 		// io.ReadAll grow its buffer doubles the copy traffic.
 		body = make([]byte, n)
 		if m, err := io.ReadFull(resp.Body, body); err != nil {
-			return nil, int64(m), fmt.Errorf("crawler: %s: read: %w", u, err)
+			return nil, int64(m), &FetchError{URL: u, Class: ClassRead, Err: err}
 		}
 	} else if body, err = io.ReadAll(io.LimitReader(resp.Body, limit)); err != nil {
-		return nil, int64(len(body)), fmt.Errorf("crawler: %s: read: %w", u, err)
+		return nil, int64(len(body)), &FetchError{URL: u, Class: ClassRead, Err: err}
 	}
 	issuer := c.Verify[u]
 	sum := sha256.Sum256(body)
@@ -178,11 +432,11 @@ func (c *Crawler) fetchOne(u string) (*crl.CRL, int64, error) {
 	c.cacheMu.Unlock()
 	parsed, err := crl.Parse(body)
 	if err != nil {
-		return nil, int64(len(body)), fmt.Errorf("crawler: %s: %w", u, err)
+		return nil, int64(len(body)), &FetchError{URL: u, Class: ClassParse, Err: err}
 	}
 	if issuer != nil {
 		if err := parsed.VerifySignature(issuer); err != nil {
-			return nil, int64(len(body)), fmt.Errorf("crawler: %s: %w", u, err)
+			return nil, int64(len(body)), &FetchError{URL: u, Class: ClassVerify, Err: err}
 		}
 	}
 	c.cacheMu.Lock()
@@ -209,6 +463,60 @@ type OCSPResult struct {
 	Err      error
 }
 
+// checkOCSPBatch performs one batched OCSP exchange with the retry
+// policy, attributing each failed attempt to the layer that produced it.
+func (c *Crawler) checkOCSPBatch(client *ocsp.Client, url string, issuer *x509x.Certificate, serials []*big.Int) ([]ocsp.SingleResponse, error) {
+	attempts := c.Retries + 1
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			c.bump(func(s *FetchStats) { s.OCSPRetries++ })
+			d := c.backoffDelay(url, i)
+			c.bump(func(s *FetchStats) { s.BackoffTotal += d })
+			if c.Sleep != nil {
+				c.Sleep(d)
+			}
+		}
+		c.bump(func(s *FetchStats) { s.OCSPAttempts++ })
+		ctx, cancel := c.attemptCtx()
+		srs, err := client.CheckBatchContext(ctx, url, issuer, serials)
+		cancel()
+		if err == nil {
+			return srs, nil
+		}
+		lastErr = err
+		var (
+			te *ocsp.TransportError
+			se *ocsp.StatusError
+			re *ocsp.ResponderError
+		)
+		retry := true
+		switch {
+		case errors.As(err, &te):
+			c.bump(func(s *FetchStats) { s.OCSPTransportErrors++ })
+		case errors.As(err, &se):
+			c.bump(func(s *FetchStats) { s.OCSPHTTPErrors++ })
+			retry = se.Code >= 500
+		case errors.As(err, &re):
+			// The responder answered OCSP, just not usefully — this is
+			// an application-layer refusal, not an availability failure.
+			c.bump(func(s *FetchStats) { s.OCSPResponderErrors++ })
+			retry = re.Status == ocsp.RespTryLater || re.Status == ocsp.RespInternalError
+		default:
+			// Parse or signature failures: possibly in-flight
+			// corruption, worth retrying.
+			c.bump(func(s *FetchStats) { s.OCSPOtherErrors++ })
+		}
+		if !retry {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
 // CheckOCSPOnly queries the responder for each OCSP-only certificate.
 // With OCSPBatchSize > 1, targets sharing a responder and issuer are
 // grouped into multi-certificate requests. Queries run with the
@@ -218,19 +526,12 @@ func (c *Crawler) CheckOCSPOnly(targets []OCSPTarget) []OCSPResult {
 	out := make([]OCSPResult, len(targets))
 	batches := c.ocspBatches(targets)
 	check := func(batch []int) {
-		if len(batch) == 1 {
-			i := batch[0]
-			t := targets[i]
-			sr, err := client.Check(t.ResponderURL, t.Issuer, t.Serial)
-			out[i] = OCSPResult{Target: t, Response: sr, Err: err}
-			return
-		}
 		first := targets[batch[0]]
 		serials := make([]*big.Int, len(batch))
 		for j, i := range batch {
 			serials[j] = targets[i].Serial
 		}
-		srs, err := client.CheckBatch(first.ResponderURL, first.Issuer, serials)
+		srs, err := c.checkOCSPBatch(client, first.ResponderURL, first.Issuer, serials)
 		for j, i := range batch {
 			if err != nil {
 				out[i] = OCSPResult{Target: targets[i], Err: err}

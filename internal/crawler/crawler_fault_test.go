@@ -1,0 +1,309 @@
+// Fault-injection coverage for the crawler's degradation paths. This is
+// an external test package so it can close the loop through revdb
+// (which itself imports crawler).
+package crawler_test
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/ca"
+	"repro/internal/crawler"
+	"repro/internal/crl"
+	"repro/internal/faultnet"
+	"repro/internal/ocsp"
+	"repro/internal/revdb"
+	"repro/internal/simnet"
+	"repro/internal/simtime"
+	"repro/internal/x509x"
+)
+
+// faultWorld wires a CA into a simnet fabric with a fault injector
+// between the crawler and the network.
+type faultWorld struct {
+	clock     *simtime.Clock
+	net       *simnet.Network
+	authority *ca.CA
+	injector  *faultnet.Injector
+	crawler   *crawler.Crawler
+}
+
+func newFaultWorld(t testing.TB, cfg faultnet.Config) *faultWorld {
+	t.Helper()
+	clock := simtime.NewClock(simtime.CrawlStart)
+	net := simnet.New()
+	authority, err := ca.NewRoot(ca.Config{
+		Name:              "FaultCA",
+		NumCRLShards:      2,
+		CRLBaseURL:        "http://crl.faultca.test/crl",
+		OCSPBaseURL:       "http://ocsp.faultca.test/ocsp",
+		IncludeCRLDP:      true,
+		IncludeOCSP:       true,
+		ReuseUnchangedCRL: true,
+		Clock:             clock.Now,
+		Seed:              3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Register("crl.faultca.test", authority.Handler())
+	net.Register("ocsp.faultca.test", authority.Handler())
+	cfg.Now = clock.Now
+	inj := faultnet.New(net, cfg)
+	return &faultWorld{
+		clock:     clock,
+		net:       net,
+		authority: authority,
+		injector:  inj,
+		crawler: &crawler.Crawler{
+			Client: inj.Client(),
+			Now:    clock.Now,
+			Verify: map[string]*x509x.Certificate{
+				authority.CRLURL(0): authority.Certificate(),
+				authority.CRLURL(1): authority.Certificate(),
+			},
+		},
+	}
+}
+
+func (w *faultWorld) issue(t testing.TB) *ca.Record {
+	t.Helper()
+	return w.authority.IssueRecord(ca.IssueOptions{
+		CommonName: "h.test",
+		NotBefore:  w.clock.Now(),
+		NotAfter:   w.clock.Now().AddDate(1, 0, 0),
+	})
+}
+
+// TestCrawlerConvergesUnderTransportFaults is the headline degradation
+// guarantee: a crawler behind 20% per-attempt transport failure, with
+// retries and stale serving enabled, builds the same revocation database
+// as a fault-free crawler watching the same CA — once the faults clear.
+func TestCrawlerConvergesUnderTransportFaults(t *testing.T) {
+	w := newFaultWorld(t, faultnet.Config{Seed: 20150331, ConnErrorProb: 0.20})
+	w.crawler.Timeout = 2 * time.Second
+	w.crawler.Retries = 3
+	w.crawler.ServeStale = true
+
+	clean := &crawler.Crawler{Client: w.net.Client(), Now: w.clock.Now, Verify: w.crawler.Verify}
+
+	var recs []*ca.Record
+	for i := 0; i < 12; i++ {
+		recs = append(recs, w.issue(t))
+	}
+	urls := []string{w.authority.CRLURL(0), w.authority.CRLURL(1)}
+	dbFaulty, dbClean := revdb.New(), revdb.New()
+
+	// Ten crawl days; a revocation lands every other day, then two quiet
+	// tail days during which the faulted crawler can catch up on
+	// anything it served stale.
+	for day := 0; day < 10; day++ {
+		if day%2 == 0 && day/2 < len(recs) {
+			rec := recs[day/2]
+			if err := w.authority.Revoke(rec.Serial, w.clock.Now(), crl.ReasonKeyCompromise); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w.clock.Advance(25 * time.Hour) // let the day's CRL expire and regenerate
+		dbFaulty.IngestSnapshot(w.crawler.CrawlCRLs(urls))
+		dbClean.IngestSnapshot(clean.CrawlCRLs(urls))
+	}
+	w.injector.SetEnabled(false)
+	for day := 0; day < 2; day++ {
+		w.clock.Advance(25 * time.Hour)
+		dbFaulty.IngestSnapshot(w.crawler.CrawlCRLs(urls))
+		dbClean.IngestSnapshot(clean.CrawlCRLs(urls))
+	}
+
+	st := w.crawler.Stats()
+	if st.TransportErrors == 0 {
+		t.Fatal("fault injector never fired; test proves nothing")
+	}
+	if st.Retries == 0 {
+		t.Fatal("no retries recorded under 20% transport failure")
+	}
+
+	sig := func(db *revdb.DB) []string {
+		var out []string
+		for _, e := range db.Entries() {
+			out = append(out, fmt.Sprintf("%s|%v|%s|%d", e.CRLURL, e.Serial, e.RevokedAt.UTC(), e.Reason))
+		}
+		return out
+	}
+	got, want := sig(dbFaulty), sig(dbClean)
+	if len(got) != len(want) {
+		t.Fatalf("faulted revdb has %d entries, clean has %d\nstats: %+v", len(got), len(want), st)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("revdb entry %d diverged:\nfaulted: %s\nclean:   %s", i, got[i], want[i])
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("expected 5 revocations observed, got %d", len(got))
+	}
+}
+
+// TestCrawlTimeoutBoundsHungEndpoint covers the satellite requirement:
+// a never-responding endpoint cannot hang a crawl round once a timeout
+// budget is set — the hang resolves as a classified transport failure in
+// bounded real time.
+func TestCrawlTimeoutBoundsHungEndpoint(t *testing.T) {
+	w := newFaultWorld(t, faultnet.Config{Seed: 5})
+	w.injector.ForceFault("crl.faultca.test", faultnet.FaultHang)
+	w.crawler.Timeout = 2 * time.Second
+
+	start := time.Now()
+	snap := w.crawler.CrawlCRLs([]string{w.authority.CRLURL(0)})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("crawl blocked %v on a hung endpoint", elapsed)
+	}
+	err := snap.Failures[w.authority.CRLURL(0)]
+	if err == nil {
+		t.Fatal("hung endpoint did not fail")
+	}
+	var fe *crawler.FetchError
+	if !errors.As(err, &fe) || fe.Class != crawler.ClassTransport {
+		t.Fatalf("err = %v, want ClassTransport FetchError", err)
+	}
+	var ne *faultnet.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("err = %v, want a timeout at the fault layer", err)
+	}
+	if st := w.crawler.Stats(); st.TransportErrors == 0 || st.GaveUp == 0 {
+		t.Fatalf("stats = %+v, want transport errors and a give-up", st)
+	}
+}
+
+// TestOCSPTimeoutBoundsHungResponder: same budget guarantee on the
+// OCSP-only path.
+func TestOCSPTimeoutBoundsHungResponder(t *testing.T) {
+	w := newFaultWorld(t, faultnet.Config{Seed: 5})
+	w.injector.ForceFault("ocsp.faultca.test", faultnet.FaultHang)
+	w.crawler.Timeout = 2 * time.Second
+	rec := w.issue(t)
+
+	start := time.Now()
+	res := w.crawler.CheckOCSPOnly([]crawler.OCSPTarget{{
+		ResponderURL: rec.OCSPURL,
+		Issuer:       w.authority.Certificate(),
+		Serial:       rec.Serial,
+	}})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("OCSP check blocked %v on a hung responder", elapsed)
+	}
+	var te *ocsp.TransportError
+	if res[0].Err == nil || !errors.As(res[0].Err, &te) {
+		t.Fatalf("err = %v, want *ocsp.TransportError", res[0].Err)
+	}
+	if st := w.crawler.Stats(); st.OCSPTransportErrors == 0 {
+		t.Fatalf("stats = %+v, want OCSP transport errors", st)
+	}
+}
+
+// TestFailureClassAttribution drives one failure of each class through
+// the crawler and checks it lands in the matching counter.
+func TestFailureClassAttribution(t *testing.T) {
+	cases := []struct {
+		name  string
+		fault faultnet.Fault
+		class crawler.FailureClass
+		count func(crawler.FetchStats) int64
+	}{
+		{"transport", faultnet.FaultConnError, crawler.ClassTransport,
+			func(s crawler.FetchStats) int64 { return s.TransportErrors }},
+		{"http-status", faultnet.FaultHTTP500, crawler.ClassHTTPStatus,
+			func(s crawler.FetchStats) int64 { return s.HTTPErrors }},
+		{"read", faultnet.FaultTruncate, crawler.ClassRead,
+			func(s crawler.FetchStats) int64 { return s.ReadErrors }},
+		{"parse-or-verify", faultnet.FaultCorrupt, crawler.ClassParse,
+			func(s crawler.FetchStats) int64 { return s.ParseErrors + s.VerifyErrors }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := newFaultWorld(t, faultnet.Config{Seed: 5})
+			w.injector.ForceFault("crl.faultca.test", tc.fault)
+			w.crawler.Timeout = time.Second
+			snap := w.crawler.CrawlCRLs([]string{w.authority.CRLURL(0)})
+			err := snap.Failures[w.authority.CRLURL(0)]
+			if err == nil {
+				t.Fatalf("fault %v did not fail the fetch", tc.fault)
+			}
+			var fe *crawler.FetchError
+			if !errors.As(err, &fe) {
+				t.Fatalf("err = %v, want FetchError", err)
+			}
+			if tc.name != "parse-or-verify" && fe.Class != tc.class {
+				t.Fatalf("class = %v, want %v (err %v)", fe.Class, tc.class, err)
+			}
+			if tc.count(w.crawler.Stats()) == 0 {
+				t.Fatalf("fault %v not attributed; stats %+v", tc.fault, w.crawler.Stats())
+			}
+		})
+	}
+}
+
+// TestOCSPResponderErrorVsTransportAttribution is the first satellite:
+// an OCSP error response (the responder is up, answering "unauthorized")
+// must not be confused with an unreachable responder.
+func TestOCSPResponderErrorVsTransportAttribution(t *testing.T) {
+	w := newFaultWorld(t, faultnet.Config{Seed: 5})
+	rec := w.issue(t)
+	// Replace the OCSP host with one that always answers a well-formed
+	// error response.
+	w.net.Register("ocsp.faultca.test", http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "application/ocsp-response")
+		rw.Write(ocsp.ErrorResponseDER(ocsp.RespUnauthorized))
+	}))
+	target := crawler.OCSPTarget{ResponderURL: rec.OCSPURL, Issuer: w.authority.Certificate(), Serial: rec.Serial}
+
+	res := w.crawler.CheckOCSPOnly([]crawler.OCSPTarget{target})
+	var re *ocsp.ResponderError
+	if res[0].Err == nil || !errors.As(res[0].Err, &re) {
+		t.Fatalf("err = %v, want *ocsp.ResponderError", res[0].Err)
+	}
+	if re.Status != ocsp.RespUnauthorized {
+		t.Fatalf("status = %v", re.Status)
+	}
+	st := w.crawler.Stats()
+	if st.OCSPResponderErrors != 1 || st.OCSPTransportErrors != 0 {
+		t.Fatalf("responder error misattributed: %+v", st)
+	}
+}
+
+// TestStaleServingPreservesPointerIdentity: a stale-served CRL is the
+// same object a previous crawl produced, so revdb's delta fast path
+// still applies.
+func TestStaleServingPreservesPointerIdentity(t *testing.T) {
+	w := newFaultWorld(t, faultnet.Config{Seed: 5})
+	w.crawler.ServeStale = true
+	w.crawler.Timeout = time.Second
+	url := w.authority.CRLURL(0)
+
+	first := w.crawler.CrawlCRLs([]string{url})
+	if len(first.CRLs) != 1 {
+		t.Fatalf("bootstrap crawl failed: %v", first.Failures)
+	}
+	w.clock.Advance(time.Hour)
+	w.injector.ForceFault("crl.faultca.test", faultnet.FaultConnError)
+	second := w.crawler.CrawlCRLs([]string{url})
+	if !second.Stale[url] {
+		t.Fatalf("outage crawl not marked stale: failures %v", second.Failures)
+	}
+	if second.CRLs[url] != first.CRLs[url] {
+		t.Fatal("stale serve returned a different *crl.CRL object")
+	}
+	if st := w.crawler.Stats(); st.StaleServed != 1 {
+		t.Fatalf("StaleServed = %d, want 1", st.StaleServed)
+	}
+	// Recovery: once the fault clears, the fresh copy replaces the
+	// stale one.
+	w.injector.ClearFault("crl.faultca.test")
+	third := w.crawler.CrawlCRLs([]string{url})
+	if third.Stale[url] {
+		t.Fatal("recovered crawl still marked stale")
+	}
+}

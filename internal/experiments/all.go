@@ -36,6 +36,7 @@ func (r *Runner) All() ([]*Result, error) {
 		r.AblationStapling,
 		func() (*Result, error) { return r.AblationSetEncoding(), nil },
 		AblationFailurePolicy,
+		Availability,
 		ExtensionMultiStaple,
 		func() (*Result, error) { return ExtensionShortLived(), nil },
 	}

@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/browser"
+	"repro/internal/ca"
+	"repro/internal/crl"
+	"repro/internal/faultnet"
+	"repro/internal/simnet"
+	"repro/internal/simtime"
+	"repro/internal/x509x"
+)
+
+// availEnv is the small PKI the availability sweep evaluates: a revoked
+// leaf under one intermediate, with the leaf's revocation infrastructure
+// (the intermediate's CRL and OCSP hosts) exposed to fault injection and
+// the intermediate's own status infrastructure (the root's hosts) left
+// clean so it never confounds the leaf measurement.
+type availEnv struct {
+	net       *simnet.Network
+	chain     []*x509x.Certificate // leaf, intermediate, root
+	base      time.Time
+	leafHosts []string
+}
+
+var (
+	availOnce sync.Once
+	availMemo *availEnv
+	availErr  error
+)
+
+func buildAvailEnv() (*availEnv, error) {
+	availOnce.Do(func() {
+		availMemo, availErr = newAvailEnv()
+	})
+	return availMemo, availErr
+}
+
+func newAvailEnv() (*availEnv, error) {
+	base := simtime.Date(2015, time.April, 1)
+	now := func() time.Time { return base }
+	cfg := func(level int) ca.Config {
+		return ca.Config{
+			Name:         fmt.Sprintf("Avail L%d", level),
+			Subject:      x509x.Name{CommonName: fmt.Sprintf("Availability CA l%d", level)},
+			CRLBaseURL:   fmt.Sprintf("http://crl.avail-l%d.test/crl", level),
+			OCSPBaseURL:  fmt.Sprintf("http://ocsp.avail-l%d.test/ocsp", level),
+			IncludeCRLDP: true,
+			IncludeOCSP:  true,
+			// Validity windows cover the whole trial span so staleness
+			// never masquerades as unavailability.
+			CRLValidity:  72 * time.Hour,
+			OCSPValidity: 96 * time.Hour,
+			// The sweep revokes before any fetch, but immediate
+			// publication keeps the CRL path honest even if the serving
+			// cache warmed first.
+			PublishRevocationsImmediately: true,
+			Clock:                         now,
+			Seed:                          1504,
+		}
+	}
+	root, err := ca.NewRoot(cfg(0))
+	if err != nil {
+		return nil, err
+	}
+	inter, err := ca.NewIntermediate(cfg(1), root)
+	if err != nil {
+		return nil, err
+	}
+	leaf, rec, err := inter.Issue(ca.IssueOptions{
+		CommonName: "avail.site.test",
+		NotBefore:  base.AddDate(0, -1, 0),
+		NotAfter:   base.AddDate(1, 0, 0),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := inter.Revoke(rec.Serial, base.Add(-time.Hour), crl.ReasonKeyCompromise); err != nil {
+		return nil, err
+	}
+	net := simnet.New()
+	net.Register("crl.avail-l0.test", root.Handler())
+	net.Register("ocsp.avail-l0.test", root.Handler())
+	net.Register("crl.avail-l1.test", inter.Handler())
+	net.Register("ocsp.avail-l1.test", inter.Handler())
+	return &availEnv{
+		net:       net,
+		chain:     []*x509x.Certificate{leaf, inter.Certificate(), root.Certificate()},
+		base:      base,
+		leafHosts: []string{"crl.avail-l1.test", "ocsp.avail-l1.test"},
+	}, nil
+}
+
+// Availability sweeps responder availability from 99% down to 50% and
+// measures, per browser profile, the effective revocation-check coverage
+// against a revoked leaf: the fraction of connection attempts where the
+// revocation is actually observed, and the fraction where the chain is
+// silently accepted. Soft-fail profiles collapse toward zero coverage as
+// availability drops (§2.3, §6.2's criticism made quantitative); hard-fail
+// profiles never accept, trading availability for safety.
+//
+// Unavailability is injected as deterministic per-responder outage windows
+// on the virtual clock (faultnet.FaultOutage), so the result is a pure
+// function of the sweep's fixed seed.
+func Availability() (*Result, error) {
+	env, err := buildAvailEnv()
+	if err != nil {
+		return nil, err
+	}
+	levels := []float64{0.99, 0.95, 0.90, 0.80, 0.70, 0.60, 0.50}
+	profiles := []*browser.Profile{
+		browser.Firefox40(), browser.Opera12(), browser.IE11(),
+		browser.Hardened(), browser.MobileSafari(),
+	}
+	const trials = 60
+	const step = 17 * time.Minute // off the hour, so samples don't phase-lock to outage periods
+
+	res := &Result{
+		ID:     "availability",
+		Title:  "Effective revocation-check coverage vs responder availability",
+		Header: []string{"availability", "profile", "trials", "coverage", "accept_rate"},
+	}
+
+	// coverage[profile][level], acceptRate likewise.
+	coverage := map[string]map[float64]float64{}
+	acceptRate := map[string]map[float64]float64{}
+	for _, level := range levels {
+		var trialTime time.Time
+		inj := faultnet.New(env.net, faultnet.Config{
+			Seed:         0xA7A1,
+			Availability: level,
+			OutagePeriod: time.Hour,
+			Hosts:        env.leafHosts,
+			Now:          func() time.Time { return trialTime },
+		})
+		for _, p := range profiles {
+			client := &browser.Client{
+				Profile: p,
+				HTTP:    inj.Client(),
+				Now:     func() time.Time { return trialTime },
+				Timeout: 5 * time.Second,
+			}
+			detected, accepted := 0, 0
+			for i := 0; i < trials; i++ {
+				trialTime = env.base.Add(time.Duration(i) * step)
+				v, err := client.Evaluate(env.chain, nil)
+				if err != nil {
+					return nil, err
+				}
+				if v.RevocationDetected {
+					detected++
+				}
+				if v.Outcome == browser.OutcomeAccept {
+					accepted++
+				}
+			}
+			cov := float64(detected) / trials
+			acc := float64(accepted) / trials
+			if coverage[p.Name] == nil {
+				coverage[p.Name] = map[float64]float64{}
+				acceptRate[p.Name] = map[float64]float64{}
+			}
+			coverage[p.Name][level] = cov
+			acceptRate[p.Name][level] = acc
+			res.Rows = append(res.Rows, []string{
+				fmt.Sprintf("%.2f", level), p.Name, fmt.Sprint(trials),
+				fmt.Sprintf("%.3f", cov), fmt.Sprintf("%.3f", acc),
+			})
+		}
+	}
+
+	ff, hard, ie, safari := coverage["Firefox 40"], acceptRate["Hardened"], acceptRate["IE 11"], acceptRate["iOS 6-8"]
+	hardMax, ieMax := 0.0, 0.0
+	for _, level := range levels {
+		if hard[level] > hardMax {
+			hardMax = hard[level]
+		}
+		if ie[level] > ieMax {
+			ieMax = ie[level]
+		}
+	}
+	res.Findings = []Finding{
+		{
+			Metric:   "soft-fail coverage collapses",
+			Paper:    "soft-fail checking degrades to nothing under blocked/unavailable responders (§2.3)",
+			Measured: fmt.Sprintf("Firefox coverage %.2f at 99%% availability -> %.2f at 50%%", ff[0.99], ff[0.50]),
+			OK:       ff[0.99] >= 0.85 && ff[0.50] <= 0.70 && ff[0.99]-ff[0.50] >= 0.25,
+		},
+		{
+			Metric:   "soft-fail acceptance tracks outage fraction",
+			Paper:    "an attacker gets exactly the blocked fraction as silent acceptance",
+			Measured: fmt.Sprintf("Firefox accept rate %.2f at 50%% availability", acceptRate["Firefox 40"][0.50]),
+			OK:       acceptRate["Firefox 40"][0.50] >= 0.25 && acceptRate["Firefox 40"][0.50] <= 0.75,
+		},
+		{
+			Metric:   "hard-fail never accepts",
+			Paper:    "reject-on-unavailable holds the line at any availability",
+			Measured: fmt.Sprintf("max accept rate: Hardened %.2f, IE 11 %.2f", hardMax, ieMax),
+			OK:       hardMax == 0 && ieMax == 0,
+		},
+		{
+			Metric:   "non-checking profiles blind at any availability",
+			Paper:    "mobile browsers accept revoked certificates unconditionally (§6.3)",
+			Measured: fmt.Sprintf("iOS 6-8 accept rate %.2f at 99%% availability", safari[0.99]),
+			OK:       safari[0.99] == 1 && coverage["iOS 6-8"][0.99] == 0,
+		},
+	}
+	return res, nil
+}

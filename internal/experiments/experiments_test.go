@@ -37,8 +37,8 @@ func TestEveryExperimentMatchesPaperShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 22 {
-		t.Fatalf("experiments = %d, want 22", len(results))
+	if len(results) != 23 {
+		t.Fatalf("experiments = %d, want 23", len(results))
 	}
 	seen := map[string]bool{}
 	for _, res := range results {
@@ -55,7 +55,7 @@ func TestEveryExperimentMatchesPaperShape(t *testing.T) {
 			}
 		}
 	}
-	for _, id := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table1", "table2", "sec3", "sec4.3", "sec7.2", "ext-rfc6961", "ext-shortlived"} {
+	for _, id := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table1", "table2", "sec3", "sec4.3", "sec7.2", "ext-rfc6961", "ext-shortlived", "availability"} {
 		if !seen[id] {
 			t.Errorf("experiment %s missing", id)
 		}
@@ -150,5 +150,32 @@ func TestAllParallelMatchesSerial(t *testing.T) {
 			t.Errorf("%s: parallel result differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
 				serial[i].ID, serial[i].Render(), parallel[i].Render())
 		}
+	}
+}
+
+func TestAvailabilityStandalone(t *testing.T) {
+	// The sweep runs on its own fabric (no world) and must be a pure
+	// function of its fixed seed: two invocations give identical results,
+	// which is what lets All() run it under any concurrency.
+	first, err := Availability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Availability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Error("Availability is not deterministic across invocations")
+	}
+	if !first.OK() {
+		for _, f := range first.Findings {
+			if !f.OK {
+				t.Errorf("availability: %s: measured %s", f.Metric, f.Measured)
+			}
+		}
+	}
+	if len(first.Rows) != 7*5 {
+		t.Errorf("rows = %d, want 7 levels x 5 profiles", len(first.Rows))
 	}
 }

@@ -1,0 +1,336 @@
+// Package chaostest is the chaos differential harness: it stands up a
+// small two-CA world on a simnet fabric, drives a seeded revocation script
+// through daily crawls, browser evaluations, and OCSP spot checks — once
+// fault-free and once through a faultnet injector — and reduces each run
+// to digests that make the ISSUE's invariants checkable:
+//
+//   - the same seed yields a byte-identical fault schedule and identical
+//     end state across repeated runs;
+//   - once faults clear, the crawler converges to the same revocation
+//     database the fault-free run built;
+//   - after a revocation lands and a fault-free refresh completes, no
+//     consumer observes a stale Good.
+package chaostest
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+	"time"
+
+	"repro/internal/browser"
+	"repro/internal/ca"
+	"repro/internal/crawler"
+	"repro/internal/crl"
+	"repro/internal/faultnet"
+	"repro/internal/ocsp"
+	"repro/internal/revdb"
+	"repro/internal/simnet"
+	"repro/internal/simtime"
+	"repro/internal/x509x"
+)
+
+// Options parameterizes one chaos run.
+type Options struct {
+	// Seed drives the fault schedule and the revocation script.
+	Seed uint64
+	// Days is the number of fault-exposed simulated days (default 8).
+	Days int
+	// Tail is the number of fault-free days appended after Days so the
+	// crawler can converge (default 3).
+	Tail int
+	// Faulty enables the injector for the first Days days. A fault-free
+	// run (Faulty false) of the same seed plays the identical revocation
+	// script and is the differential baseline.
+	Faulty bool
+	// CertsPerCA sizes the population (default 14).
+	CertsPerCA int
+}
+
+func (o *Options) fillDefaults() {
+	if o.Days <= 0 {
+		o.Days = 8
+	}
+	if o.Tail <= 0 {
+		o.Tail = 3
+	}
+	if o.CertsPerCA <= 0 {
+		o.CertsPerCA = 14
+	}
+}
+
+// Outcome is the reduced state of one run.
+type Outcome struct {
+	Seed uint64
+	// Faults is the injector's final tally; Faults.Digest fingerprints
+	// the exact set of injected events.
+	Faults faultnet.Stats
+	// RevDB digests the final revocation database down to the fields a
+	// fault-free and a faulted run must agree on: (CRL URL, serial,
+	// revocation time, reason). Observation times legitimately differ
+	// under faults.
+	RevDB string
+	// Decisions digests the full per-day trace of browser outcomes and
+	// OCSP spot checks; two runs of the same seed and the same Faulty
+	// flag must match exactly.
+	Decisions string
+	// Crawl is the crawler's cumulative degradation tally.
+	Crawl crawler.FetchStats
+	// Revoked is how many certificates the script revoked.
+	Revoked int
+	// StaleGoodViolations counts revoked certificates that, after the
+	// fault-free tail, were still missing from the revocation database
+	// or still accepted by a checking browser. Must be zero.
+	StaleGoodViolations int
+}
+
+// chaosRand is a tiny splitmix64 step for the revocation script; the
+// package deliberately avoids math/rand so the script stays stable across
+// Go releases.
+func chaosRand(seed uint64, vals ...uint64) uint64 {
+	x := seed
+	for _, v := range vals {
+		x ^= v + 0x9e3779b97f4a7c15
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+	}
+	return x
+}
+
+// errClass reduces an OCSP check error to a stable label.
+func errClass(err error) string {
+	var te *ocsp.TransportError
+	var se *ocsp.StatusError
+	var re *ocsp.ResponderError
+	switch {
+	case errors.As(err, &te):
+		return "transport"
+	case errors.As(err, &se):
+		return fmt.Sprintf("http-%d", se.Code)
+	case errors.As(err, &re):
+		return fmt.Sprintf("responder-%v", re.Status)
+	default:
+		return "other"
+	}
+}
+
+type chaosCA struct {
+	ca    *ca.CA
+	recs  []*ca.Record
+	certs []*x509x.Certificate
+}
+
+// Run plays one seeded chaos scenario to completion.
+func Run(o Options) (*Outcome, error) {
+	o.fillDefaults()
+	clock := simtime.NewClock(simtime.Date(2015, time.May, 1))
+	net := simnet.New()
+
+	var world []*chaosCA
+	var crlURLs []string
+	verify := map[string]*x509x.Certificate{}
+	for i, name := range []string{"chaosa", "chaosb"} {
+		authority, err := ca.NewRoot(ca.Config{
+			Name:         "Chaos" + name[len(name)-1:],
+			Subject:      x509x.Name{CommonName: "Chaos CA " + name},
+			NumCRLShards: 2,
+			CRLBaseURL:   fmt.Sprintf("http://crl.%s.test/crl", name),
+			OCSPBaseURL:  fmt.Sprintf("http://ocsp.%s.test/ocsp", name),
+			IncludeCRLDP: true,
+			IncludeOCSP:  true,
+			// Revocations must be visible on the next fetch, not the
+			// next validity rollover: the no-stale-Good invariant is
+			// about the serving path, not CA batching policy.
+			PublishRevocationsImmediately: true,
+			ReuseUnchangedCRL:             true,
+			Clock:                         clock.Now,
+			Seed:                          int64(o.Seed) + int64(i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		net.Register("crl."+name+".test", authority.Handler())
+		net.Register("ocsp."+name+".test", authority.Handler())
+		w := &chaosCA{ca: authority}
+		for j := 0; j < o.CertsPerCA; j++ {
+			cert, rec, err := authority.Issue(ca.IssueOptions{
+				CommonName: fmt.Sprintf("%s-%02d.site.test", name, j),
+				DNSNames:   []string{fmt.Sprintf("%s-%02d.site.test", name, j)},
+				NotBefore:  clock.Now().AddDate(0, -1, 0),
+				NotAfter:   clock.Now().AddDate(1, 0, 0),
+			})
+			if err != nil {
+				return nil, err
+			}
+			w.recs = append(w.recs, rec)
+			w.certs = append(w.certs, cert)
+		}
+		for shard := 0; shard < 2; shard++ {
+			u := authority.CRLURL(shard)
+			crlURLs = append(crlURLs, u)
+			verify[u] = authority.Certificate()
+		}
+		world = append(world, w)
+	}
+
+	inj := faultnet.New(net, faultnet.Config{
+		Seed:          o.Seed,
+		Now:           clock.Now,
+		ConnErrorProb: 0.15,
+		HangProb:      0.05,
+		HTTP500Prob:   0.05,
+		TruncateProb:  0.04,
+		CorruptProb:   0.04,
+		LatencyMean:   80 * time.Millisecond,
+		Availability:  0.90,
+		OutagePeriod:  time.Hour,
+	})
+	inj.SetEnabled(o.Faulty)
+
+	cr := &crawler.Crawler{
+		Client:      inj.Client(),
+		Now:         clock.Now,
+		Verify:      verify,
+		Parallelism: 4,
+		Timeout:     2 * time.Second,
+		Retries:     3,
+		Backoff:     50 * time.Millisecond,
+		ServeStale:  true,
+	}
+	db := revdb.New()
+	profiles := []*browser.Profile{browser.Firefox40(), browser.Hardened()}
+	// The victim chain: the first certificate of the first CA, revoked
+	// early in the script, evaluated daily by both profiles.
+	victim := []*x509x.Certificate{world[0].certs[0], world[0].ca.Certificate()}
+	innocent := []*x509x.Certificate{world[1].certs[1], world[1].ca.Certificate()}
+
+	trace := sha256.New()
+	type revocation struct {
+		w      *chaosCA
+		idx    int
+		serial *big.Int
+	}
+	var revoked []revocation
+	isRevoked := map[string]bool{}
+
+	total := o.Days + o.Tail
+	for day := 0; day < total; day++ {
+		if day == o.Days {
+			inj.SetEnabled(false) // faults clear; the tail lets everything converge
+		}
+
+		// Seeded revocation script: the victim falls on day 1, then one
+		// further certificate every second day of the fault window. The
+		// script depends only on (seed, day) — never on fault outcomes —
+		// so faulted and fault-free runs revoke identically.
+		if day < o.Days && day%2 == 1 {
+			wi := int(chaosRand(o.Seed, uint64(day), 1) % uint64(len(world)))
+			w := world[wi]
+			idx := int(chaosRand(o.Seed, uint64(day), 2) % uint64(len(w.recs)))
+			if day == 1 {
+				wi, w, idx = 0, world[0], 0
+			}
+			key := fmt.Sprintf("%d/%d", wi, idx)
+			if !isRevoked[key] {
+				isRevoked[key] = true
+				serial := w.recs[idx].Serial
+				if err := w.ca.Revoke(serial, clock.Now(), crl.ReasonKeyCompromise); err != nil {
+					return nil, err
+				}
+				revoked = append(revoked, revocation{w: w, idx: idx, serial: serial})
+			}
+		}
+
+		snap := cr.CrawlCRLs(crlURLs)
+		db.IngestSnapshot(snap)
+		fmt.Fprintf(trace, "day %d: crls %d stale %d failed %d\n",
+			day, len(snap.CRLs), len(snap.Stale), len(snap.Failures))
+
+		// OCSP spot checks on three fixed serials of CA A.
+		var targets []crawler.OCSPTarget
+		for j := 0; j < 3; j++ {
+			targets = append(targets, crawler.OCSPTarget{
+				ResponderURL: world[0].ca.OCSPURL(),
+				Issuer:       world[0].ca.Certificate(),
+				Serial:       world[0].recs[j].Serial,
+			})
+		}
+		for i, r := range cr.CheckOCSPOnly(targets) {
+			if r.Err != nil {
+				// Classify rather than print: error strings can embed the
+				// RFC 5019 GET URL, whose base64 payload depends on the
+				// run's freshly generated key material.
+				fmt.Fprintf(trace, "ocsp %d/%d: error %s\n", day, i, errClass(r.Err))
+			} else {
+				fmt.Fprintf(trace, "ocsp %d/%d: %v\n", day, i, r.Response.Status)
+			}
+		}
+
+		// Browser trials through the same faulty fabric.
+		chains := []struct {
+			name  string
+			chain []*x509x.Certificate
+		}{{"victim", victim}, {"innocent", innocent}}
+		for _, p := range profiles {
+			cl := &browser.Client{Profile: p, HTTP: inj.Client(), Now: clock.Now, Timeout: 5 * time.Second}
+			for _, tc := range chains {
+				v, err := cl.Evaluate(tc.chain, nil)
+				if err != nil {
+					return nil, err
+				}
+				fmt.Fprintf(trace, "browser %d/%s/%s: %v detected=%t\n",
+					day, p.Name, tc.name, v.Outcome, v.RevocationDetected)
+			}
+		}
+
+		clock.Advance(24 * time.Hour)
+	}
+
+	out := &Outcome{
+		Seed:    o.Seed,
+		Faults:  inj.Stats(),
+		Crawl:   cr.Stats(),
+		Revoked: len(revoked),
+	}
+
+	// Invariant: after the fault-free tail, every scripted revocation is
+	// in the database under its CRL URL with the scripted reason.
+	for _, r := range revoked {
+		u := r.w.ca.CRLURL(r.w.recs[r.idx].Shard)
+		e, ok := db.Lookup(u, r.serial)
+		if !ok || e.Reason != crl.ReasonKeyCompromise {
+			out.StaleGoodViolations++
+		}
+	}
+	// Invariant: with faults long cleared, no checking profile accepts
+	// the revoked victim.
+	for _, p := range profiles {
+		cl := &browser.Client{Profile: p, HTTP: inj.Client(), Now: clock.Now, Timeout: 5 * time.Second}
+		v, err := cl.Evaluate(victim, nil)
+		if err != nil {
+			return nil, err
+		}
+		if v.Outcome != browser.OutcomeReject {
+			out.StaleGoodViolations++
+		}
+	}
+
+	revHash := sha256.New()
+	var lines []string
+	for _, e := range db.Entries() {
+		lines = append(lines, fmt.Sprintf("%s|%v|%s|%d", e.CRLURL, e.Serial, e.RevokedAt.UTC().Format(time.RFC3339), e.Reason))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Fprintln(revHash, l)
+	}
+	out.RevDB = hex.EncodeToString(revHash.Sum(nil))
+	out.Decisions = hex.EncodeToString(trace.Sum(nil))
+	return out, nil
+}

@@ -1,0 +1,109 @@
+package chaostest
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// seeds are the fixed chaos seeds `make chaos` pins; changing them changes
+// which schedules CI exercises, so grow the list rather than editing it.
+var seeds = []uint64{20150501, 3, 77, 424242}
+
+// TestSameSeedSameWorld is the determinism invariant: two full runs of the
+// same seed produce a byte-identical fault schedule (same event digest and
+// tallies) and an identical end-to-end trace.
+func TestSameSeedSameWorld(t *testing.T) {
+	for _, seed := range seeds[:2] {
+		first, err := Run(Options{Seed: seed, Faulty: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		second, err := Run(Options{Seed: seed, Faulty: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first.Faults.Digest != second.Faults.Digest {
+			t.Errorf("seed %d: fault digests differ: %x vs %x", seed, first.Faults.Digest, second.Faults.Digest)
+		}
+		if !reflect.DeepEqual(first.Faults, second.Faults) {
+			t.Errorf("seed %d: fault tallies differ:\n%+v\n%+v", seed, first.Faults, second.Faults)
+		}
+		if first.Decisions != second.Decisions {
+			t.Errorf("seed %d: decision traces differ", seed)
+		}
+		if first.RevDB != second.RevDB {
+			t.Errorf("seed %d: revdb digests differ", seed)
+		}
+		if !reflect.DeepEqual(first.Crawl, second.Crawl) {
+			t.Errorf("seed %d: crawl stats differ:\n%+v\n%+v", seed, first.Crawl, second.Crawl)
+		}
+	}
+}
+
+// TestFaultedConvergesToCleanBaseline is the differential invariant: after
+// the fault-free tail, the faulted run's revocation database matches the
+// fault-free run of the same seed, and neither run leaves a stale Good.
+func TestFaultedConvergesToCleanBaseline(t *testing.T) {
+	for _, seed := range seeds {
+		faulted, err := Run(Options{Seed: seed, Faulty: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clean, err := Run(Options{Seed: seed, Faulty: false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if faulted.Revoked != clean.Revoked || faulted.Revoked == 0 {
+			t.Fatalf("seed %d: scripts diverged: %d vs %d revocations", seed, faulted.Revoked, clean.Revoked)
+		}
+		if faulted.RevDB != clean.RevDB {
+			t.Errorf("seed %d: faulted crawl did not converge to the clean revdb", seed)
+		}
+		if faulted.StaleGoodViolations != 0 {
+			t.Errorf("seed %d: %d stale-Good violations under faults", seed, faulted.StaleGoodViolations)
+		}
+		if clean.StaleGoodViolations != 0 {
+			t.Errorf("seed %d: %d stale-Good violations fault-free", seed, clean.StaleGoodViolations)
+		}
+		// The chaos run must actually have been chaotic: a healthy seed
+		// injects most of the configured fault repertoire and forces the
+		// crawler through its degradation machinery.
+		if faulted.Faults.Kinds() < 5 {
+			t.Errorf("seed %d: only %d fault kinds injected", seed, faulted.Faults.Kinds())
+		}
+		if faulted.Crawl.Retries == 0 || faulted.Crawl.TransportErrors == 0 {
+			t.Errorf("seed %d: crawler saw no degradation: %+v", seed, faulted.Crawl)
+		}
+		if clean.Faults.Injected != nil {
+			for f, n := range clean.Faults.Injected {
+				if n != 0 {
+					t.Errorf("seed %d: clean run injected %d x %v", seed, n, f)
+				}
+			}
+		}
+	}
+}
+
+// TestNoGoroutineLeak runs a full chaos scenario and checks the goroutine
+// count settles back: the crawler's worker pool and the fabric must not
+// strand goroutines behind hung fetches.
+func TestNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	if _, err := Run(Options{Seed: 9, Faulty: true}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines %d -> %d after chaos run:\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

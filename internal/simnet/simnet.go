@@ -130,8 +130,12 @@ func (n *Network) Client() *http.Client {
 }
 
 // RoundTrip implements http.RoundTripper by dispatching to the registered
-// handler for the request's host.
+// handler for the request's host. A request whose context is already
+// done fails with the context's error, mirroring net/http's transport.
 func (n *Network) RoundTrip(req *http.Request) (*http.Response, error) {
+	if err := req.Context().Err(); err != nil {
+		return nil, err
+	}
 	host := req.URL.Hostname()
 	n.mu.Lock()
 	mode := n.failures[host]

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/browser"
 	"repro/internal/ocsp"
@@ -39,7 +40,7 @@ type Report struct {
 
 // Run evaluates a profile against every case in the suite.
 func (s *Suite) Run(p *browser.Profile) (*Report, error) {
-	client := &browser.Client{Profile: p, HTTP: s.Net.Client(), Now: s.Clock.Now}
+	client := &browser.Client{Profile: p, HTTP: s.Client(), Now: s.Clock.Now, Timeout: 5 * time.Second}
 	rep := &Report{Profile: p, Outcomes: make(map[string]browser.Outcome, len(s.Cases))}
 	for _, c := range s.Cases {
 		env := s.Envs[c.ID]

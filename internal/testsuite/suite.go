@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/ca"
 	"repro/internal/crl"
+	"repro/internal/faultnet"
 	"repro/internal/ocsp"
 	"repro/internal/simnet"
 	"repro/internal/simtime"
@@ -223,7 +224,17 @@ type Suite struct {
 	Envs  map[string]*Env // by case ID
 	Net   *simnet.Network
 	Clock *simtime.Clock
+	// Faults wraps Net; the unavailability cases are expressed as
+	// injected faults (connection errors for NXDOMAIN, hangs for
+	// unresponsive hosts) rather than hand-set fabric flags, so the
+	// browser engine exercises the same degradation paths a chaos run
+	// does.
+	Faults *faultnet.Injector
 }
+
+// Client returns the HTTP client evaluations must use: the network
+// fabric seen through the suite's fault injector.
+func (s *Suite) Client() *http.Client { return s.Faults.Client() }
 
 // Build constructs the PKI and network for every case. A single leaf key
 // is shared across cases (key material is irrelevant to revocation
@@ -236,6 +247,7 @@ func Build(cases []*Case) (*Suite, error) {
 		Net:   simnet.New(),
 		Clock: clock,
 	}
+	s.Faults = faultnet.New(s.Net, faultnet.Config{Seed: 0x7e57, Now: clock.Now})
 	leafKey, err := x509x.GenerateKey()
 	if err != nil {
 		return nil, err
@@ -352,9 +364,9 @@ func (s *Suite) buildCase(idx int, c *Case, leafKey *ecdsa.PrivateKey) (*Env, er
 		for _, h := range hosts {
 			switch c.Failure {
 			case FailNXDomain:
-				s.Net.SetFailure(h, simnet.FailNXDomain)
+				s.Faults.ForceFault(h, faultnet.FaultConnError)
 			case FailUnresponsive:
-				s.Net.SetFailure(h, simnet.FailUnresponsive)
+				s.Faults.ForceFault(h, faultnet.FaultHang)
 			case FailHTTP404:
 				s.Net.Register(h, http.NotFoundHandler())
 			}
@@ -377,7 +389,7 @@ func (s *Suite) buildCase(idx int, c *Case, leafKey *ecdsa.PrivateKey) (*Env, er
 		if err := issuer.Revoke(elementSerial(c.Target).SerialNumber, s.Clock.Now(), crl.ReasonKeyCompromise); err != nil {
 			return nil, err
 		}
-		s.Net.SetFailure(ocspHost(elementLevel(c.Target)), simnet.FailUnresponsive)
+		s.Faults.ForceFault(ocspHost(elementLevel(c.Target)), faultnet.FaultHang)
 
 	case CondStaple:
 		// Build the staple (leaf status per spec) and firewall the
@@ -405,7 +417,7 @@ func (s *Suite) buildCase(idx int, c *Case, leafKey *ecdsa.PrivateKey) (*Env, er
 			return nil, err
 		}
 		env.Staple = staple
-		s.Net.SetFailure(ocspHost(elementLevel(0)), simnet.FailUnresponsive)
+		s.Faults.ForceFault(ocspHost(elementLevel(0)), faultnet.FaultHang)
 	}
 	return env, nil
 }

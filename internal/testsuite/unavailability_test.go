@@ -1,0 +1,107 @@
+package testsuite
+
+import (
+	"testing"
+
+	"repro/internal/browser"
+)
+
+// expectedUnavailableOutcome derives, from a profile's declared
+// soft/hard-fail flags alone, what the engine must decide when the
+// target element's revocation infrastructure is unreachable. This is an
+// independent re-statement of the §6.2 policy — if profiles.go and the
+// engine ever drift apart, the table below disagrees with the measured
+// outcome and the test names the cell.
+func expectedUnavailableOutcome(p *browser.Profile, c *Case) browser.Outcome {
+	crlTab, ocspTab := p.CRL, p.OCSP
+	if c.EV && p.EV != nil {
+		crlTab, ocspTab = p.EV.CRL, p.EV.OCSP
+	}
+	var pos browser.Position
+	switch {
+	case c.Target == 0:
+		pos = browser.PosLeaf
+	case c.Target == 1:
+		pos = browser.PosInt1
+	default:
+		pos = browser.PosIntDeep
+	}
+	// §6.3: with no intermediates, the leaf inherits Int1's
+	// unavailability behaviour for profiles that declare it.
+	if c.Target == 0 && c.Intermediates == 0 && p.TreatLeafAsInt1 {
+		pos = browser.PosInt1
+	}
+	var beh browser.Behavior
+	if c.Protocol == ProtoCRL {
+		beh = crlTab[pos]
+	} else {
+		beh = ocspTab[pos]
+	}
+	// Unavailability cases are single-protocol, so OnlyIfSoleProtocol
+	// never suppresses the check and CRL fallback has nowhere to go.
+	if !beh.Check {
+		return browser.OutcomeAccept // never fetched: nothing to miss
+	}
+	switch {
+	case beh.RejectUnavailable:
+		return browser.OutcomeReject // hard fail
+	case beh.WarnUnavailable:
+		return browser.OutcomeWarn
+	default:
+		return browser.OutcomeAccept // soft fail — §2.3's criticism
+	}
+}
+
+// TestUnavailabilityMatrixMatchesProfileFlags runs every browser profile
+// against every injected-unavailability case (all chain lengths, both
+// protocols, all three failure modes, DV and EV) and checks the measured
+// outcome against the flag-derived expectation.
+func TestUnavailabilityMatrixMatchesProfileFlags(t *testing.T) {
+	var cases []*Case
+	for _, c := range Generate() {
+		if c.Condition == CondUnavailable {
+			cases = append(cases, c)
+		}
+	}
+	if len(cases) != 120 {
+		t.Fatalf("expected 120 unavailability cases, generator produced %d", len(cases))
+	}
+	s, err := Build(cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	profiles := browser.All()
+	if len(profiles) != 15 {
+		t.Fatalf("expected 15 profiles, got %d", len(profiles))
+	}
+	softFailAccepts, hardFailRejects := 0, 0
+	for _, p := range profiles {
+		rep, err := s.Run(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		for _, c := range cases {
+			want := expectedUnavailableOutcome(p, c)
+			got, ok := rep.Outcomes[c.ID]
+			if !ok {
+				t.Fatalf("%s: case %s missing from report", p.Name, c.ID)
+			}
+			if got != want {
+				t.Errorf("%s / %s: outcome %v, profile flags imply %v", p.Name, c.ID, got, want)
+			}
+			switch want {
+			case browser.OutcomeAccept:
+				softFailAccepts++
+			case browser.OutcomeReject:
+				hardFailRejects++
+			}
+		}
+	}
+	// Sanity on the derivation itself: the study's headline is that both
+	// behaviours exist in the wild — all-soft or all-hard would mean the
+	// expectation function collapsed.
+	if softFailAccepts == 0 || hardFailRejects == 0 {
+		t.Fatalf("degenerate expectations: %d soft accepts, %d hard rejects", softFailAccepts, hardFailRejects)
+	}
+}
