@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check vet build test race race-hot bench-smoke bench bench-all chaos fuzz-short
+.PHONY: check vet build test race race-hot bench-smoke bench bench-all bench-crl bench-crl-check chaos fuzz-short
 
 # check is the full pre-merge gate: static checks, race-enabled tests on
 # the concurrency-hot packages and then the whole tree, the chaos
 # differential harness on its fixed seeds, a short fuzz pass over the
 # DER-facing parsers, and a one-iteration smoke of the end-to-end
 # world-build benchmark.
-check: vet build race-hot race chaos fuzz-short bench-smoke
+check: vet build race-hot race chaos fuzz-short bench-smoke bench-crl-check
 
 vet:
 	$(GO) vet ./...
@@ -53,3 +53,16 @@ bench:
 # bench-all runs every Go benchmark with memory stats (slow).
 bench-all:
 	$(GO) test -run='^$$' -bench=. -benchmem ./...
+
+# bench-crl regenerates BENCH_pr4.json: the CRL data-path record
+# (streaming parse, incremental re-sign, interned ingest) at full
+# Heartbleed-scale fixtures.
+bench-crl:
+	$(GO) run ./cmd/benchcrl -o BENCH_pr4.json
+
+# bench-crl-check is the benchstat-style regression gate in `make check`:
+# it re-runs the CRL benchmarks on small fixtures (allocs/op for these
+# paths is fixture-size independent) and fails if allocs/op regress
+# against the numbers recorded in BENCH_pr4.json.
+bench-crl-check:
+	$(GO) run ./cmd/benchcrl -check BENCH_pr4.json -quick

@@ -25,6 +25,7 @@ import (
 	"repro/internal/chain"
 	"repro/internal/core"
 	"repro/internal/crl"
+	"repro/internal/crlbench"
 	"repro/internal/crlset"
 	"repro/internal/experiments"
 	"repro/internal/ocsp"
@@ -339,6 +340,49 @@ func BenchmarkCRLParse1000Entries(b *testing.B) {
 	}
 }
 
+var (
+	crlBenchOnce  sync.Once
+	crlBenchWorld *crlbench.World
+	crlBenchErr   error
+)
+
+func crlBenchSetup(b *testing.B) *crlbench.World {
+	b.Helper()
+	crlBenchOnce.Do(func() {
+		crlBenchWorld, crlBenchErr = crlbench.New(0, 0)
+	})
+	if crlBenchErr != nil {
+		b.Fatal(crlBenchErr)
+	}
+	return crlBenchWorld
+}
+
+// BenchmarkCRLParseHeartbleedScale parses a 500k-entry CRL — the size
+// GlobalSign shipped after Heartbleed — through the streaming parser.
+func BenchmarkCRLParseHeartbleedScale(b *testing.B) {
+	crlBenchSetup(b).BenchParse(b)
+}
+
+// BenchmarkCRLVisitHeartbleedScale streams the same list through the
+// visitor API without materializing the entry slice.
+func BenchmarkCRLVisitHeartbleedScale(b *testing.B) {
+	crlBenchSetup(b).BenchVisit(b)
+}
+
+// BenchmarkCRLIncrementalResign measures a daily re-sign of a 100k-entry
+// shard whose entries are unchanged: the append-only encode cache reduces
+// it to header assembly plus one ECDSA signature.
+func BenchmarkCRLIncrementalResign(b *testing.B) {
+	crlBenchSetup(b).BenchIncrementalResign(b)
+}
+
+// BenchmarkRevDBIngestResigned measures revdb ingest of a re-signed
+// 100k-entry CRL (same entries, new object) via the interned per-URL
+// serial index.
+func BenchmarkRevDBIngestResigned(b *testing.B) {
+	crlBenchSetup(b).BenchIngestResigned(b)
+}
+
 func BenchmarkCRLLookup(b *testing.B) {
 	p := benchPKISetup(b)
 	parsed, err := crl.Parse(p.crlRaw)
@@ -473,7 +517,7 @@ func BenchmarkCRLSetGenerate(b *testing.B) {
 		p[0] = byte(i)
 		src := crlset.SourceCRL{Parent: p, URL: fmt.Sprint(i), Public: true}
 		for j := int64(1); j <= 200; j++ {
-			src.Entries = append(src.Entries, crl.Entry{Serial: big.NewInt(int64(i)*1000 + j), Reason: crl.ReasonUnspecified})
+			src.Entries = append(src.Entries, crl.Entry{Serial: big.NewInt(int64(i)*1000 + j).Bytes(), Reason: crl.ReasonUnspecified})
 		}
 		sources = append(sources, src)
 	}

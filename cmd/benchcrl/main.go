@@ -1,0 +1,223 @@
+// Benchcrl runs the CRL data-path benchmarks in-process (via
+// testing.Benchmark — no external benchstat needed) and maintains
+// BENCH_pr4.json, the before/after record of the zero-allocation
+// streaming rewrite.
+//
+//	benchcrl -o BENCH_pr4.json          # run full-size, write the file
+//	benchcrl -check BENCH_pr4.json      # re-run and fail on alloc regression
+//	benchcrl -check BENCH_pr4.json -quick   # smaller fixtures (CI / make check)
+//
+// The "pre" numbers are fixed: they were measured on the seed tree
+// (big.Int entries, one-shot encoder, flat key map) immediately before
+// the streaming rewrite, on the machine named in recorded_cpu. The
+// "post" numbers are refreshed whenever -o runs. -check compares current
+// allocs/op — which is fixture-size-independent for these paths, unlike
+// ns/op — against the recorded post numbers.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/crlbench"
+)
+
+// preBaselines are the seed-tree measurements (Intel Xeon @ 2.10GHz,
+// full-size fixtures: 500k-entry parse, 100k-entry re-sign and ingest).
+var preBaselines = map[string]Measurement{
+	"CRLParse1000Entries":     {NsPerOp: 1_477_000, AllocsPerOp: 15_064},
+	"CRLParseHeartbleedScale": {NsPerOp: 1_048_000_000, AllocsPerOp: 7_500_098},
+	"CRLVisitHeartbleedScale": {NsPerOp: 1_048_000_000, AllocsPerOp: 7_500_098}, // no streaming predecessor: Parse was the only path
+	"CRLIncrementalResign":    {NsPerOp: 164_000_000, AllocsPerOp: 1_600_144},
+	"RevDBIngestResigned":     {NsPerOp: 67_000_000, AllocsPerOp: 200_001},
+}
+
+// minAllocImprovement is the PR's acceptance floor on the parse and
+// ingest paths: post allocs/op must be at least this factor below pre.
+const minAllocImprovement = 5
+
+type Measurement struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op,omitempty"`
+}
+
+type Record struct {
+	Name string      `json:"name"`
+	Pre  Measurement `json:"pre"`
+	Post Measurement `json:"post"`
+}
+
+type File struct {
+	Schema      string   `json:"schema"`
+	RecordedCPU string   `json:"recorded_cpu"`
+	Fixture     string   `json:"fixture"`
+	Benchmarks  []Record `json:"benchmarks"`
+}
+
+func measure(name string, fn func(*testing.B)) Measurement {
+	r := testing.Benchmark(fn)
+	m := Measurement{
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	fmt.Printf("  %-28s %12d ns/op %10d allocs/op %12d B/op\n",
+		name, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp)
+	return m
+}
+
+func run(quick bool) (*File, error) {
+	parseN, resignN := 0, 0 // package defaults: 500k / 100k
+	fixture := "full (500k parse, 100k resign/ingest)"
+	if quick {
+		parseN, resignN = 20_000, 20_000
+		fixture = "quick (20k parse, 20k resign/ingest)"
+	}
+	fmt.Printf("building fixture: %s\n", fixture)
+	w, err := crlbench.New(parseN, resignN)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Println(w.Describe())
+
+	// The repo-wide 1000-entry parse benchmark rides along so its alloc
+	// count is gated too.
+	small, err := crlbench.New(1000, 1)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &File{
+		Schema:      "bench_pr4/v1",
+		RecordedCPU: "Intel(R) Xeon(R) Processor @ 2.10GHz",
+		Fixture:     fixture,
+	}
+	out.Benchmarks = append(out.Benchmarks, Record{
+		Name: "CRLParse1000Entries",
+		Pre:  preBaselines["CRLParse1000Entries"],
+		Post: measure("CRLParse1000Entries", small.BenchParse),
+	})
+	for _, bench := range w.Benchmarks() {
+		out.Benchmarks = append(out.Benchmarks, Record{
+			Name: bench.Name,
+			Pre:  preBaselines[bench.Name],
+			Post: measure(bench.Name, bench.Fn),
+		})
+	}
+	return out, nil
+}
+
+// checkAgainst fails when a current run's allocs/op regress versus the
+// recorded post numbers, or when the recorded improvement no longer meets
+// the PR's floor on the gated paths.
+func checkAgainst(recorded *File, current *File) error {
+	byName := make(map[string]Record, len(recorded.Benchmarks))
+	for _, r := range recorded.Benchmarks {
+		byName[r.Name] = r
+	}
+	gated := map[string]bool{
+		"CRLParse1000Entries":     true,
+		"CRLParseHeartbleedScale": true,
+		"RevDBIngestResigned":     true,
+	}
+	var firstErr error
+	for _, cur := range current.Benchmarks {
+		rec, ok := byName[cur.Name]
+		if !ok {
+			fmt.Printf("  %-28s SKIP (not in recorded file)\n", cur.Name)
+			continue
+		}
+		// Allocs/op for these paths is O(1) in fixture size, so a quick
+		// run is comparable to the recorded full-size run. Allow slack of
+		// 2x+8 for signer/runtime noise; anything larger means a
+		// per-entry allocation crept back in (which shows up as
+		// thousands, not dozens).
+		limit := rec.Post.AllocsPerOp*2 + 8
+		status := "ok"
+		if cur.Post.AllocsPerOp > limit {
+			status = fmt.Sprintf("REGRESSION (allocs/op %d > limit %d)", cur.Post.AllocsPerOp, limit)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: allocs/op regressed: %d > %d (recorded %d)",
+					cur.Name, cur.Post.AllocsPerOp, limit, rec.Post.AllocsPerOp)
+			}
+		}
+		if gated[cur.Name] && cur.Post.AllocsPerOp*minAllocImprovement > rec.Pre.AllocsPerOp {
+			status = fmt.Sprintf("BELOW FLOOR (allocs/op %d not %dx under pre %d)",
+				cur.Post.AllocsPerOp, minAllocImprovement, rec.Pre.AllocsPerOp)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: improvement below %dx floor: %d vs pre %d",
+					cur.Name, minAllocImprovement, cur.Post.AllocsPerOp, rec.Pre.AllocsPerOp)
+			}
+		}
+		fmt.Printf("  %-28s %s\n", cur.Name, status)
+	}
+	return firstErr
+}
+
+func main() {
+	var (
+		out     = flag.String("o", "", "run full benchmarks and write the JSON record to this path")
+		check   = flag.String("check", "", "re-run benchmarks and fail if allocs/op regress vs this recorded file")
+		quick   = flag.Bool("quick", false, "use small fixtures (alloc counts stay comparable; ns/op does not)")
+		verbose = flag.Bool("v", false, "print the resulting JSON to stdout")
+	)
+	flag.Parse()
+	if (*out == "") == (*check == "") {
+		fmt.Fprintln(os.Stderr, "benchcrl: exactly one of -o or -check is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	result, err := run(*quick)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcrl: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *out != "" {
+		if *quick {
+			fmt.Fprintln(os.Stderr, "benchcrl: refusing to record quick-fixture numbers with -o")
+			os.Exit(2)
+		}
+		data, err := json.MarshalIndent(result, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcrl: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcrl: %v\n", err)
+			os.Exit(1)
+		}
+		if *verbose {
+			os.Stdout.Write(data)
+		}
+		// A freshly recorded file must itself satisfy the gates.
+		if err := checkAgainst(result, result); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcrl: recorded numbers fail the gate: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+		return
+	}
+
+	data, err := os.ReadFile(*check)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcrl: %v\n", err)
+		os.Exit(1)
+	}
+	var recorded File
+	if err := json.Unmarshal(data, &recorded); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcrl: %s: %v\n", *check, err)
+		os.Exit(1)
+	}
+	if err := checkAgainst(&recorded, result); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcrl: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("benchcrl: no allocation regressions")
+}

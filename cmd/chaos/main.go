@@ -8,6 +8,7 @@
 // Usage:
 //
 //	chaos [-seeds 20150501,3,77] [-days 8] [-tail 3] [-certs 14]
+//	      [-cpuprofile chaos.cpu] [-memprofile chaos.mem]
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/faultnet/chaostest"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -33,9 +35,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	days := fs.Int("days", 8, "fault-exposed simulated days per run")
 	tail := fs.Int("tail", 3, "fault-free tail days per run")
 	certs := fs.Int("certs", 14, "certificates per CA")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the chaos runs to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(stderr, "chaos:", err)
+		return 2
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(stderr, "chaos:", err)
+		}
+	}()
 	var seeds []uint64
 	for _, s := range strings.Split(*seedList, ",") {
 		v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)

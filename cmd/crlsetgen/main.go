@@ -89,7 +89,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Parent: parent, URL: path, Public: true, Entries: parsed.Entries,
 		})
 		for _, e := range parsed.Entries {
-			serials = append(serials, e.Serial.Bytes())
+			serials = append(serials, e.Serial)
 			totalEntries++
 		}
 	}

@@ -28,6 +28,7 @@ import (
 	"repro/internal/ca"
 	"repro/internal/crl"
 	"repro/internal/ocsp"
+	"repro/internal/profiling"
 	"repro/internal/simtime"
 )
 
@@ -300,9 +301,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "load-generation seed")
 	benchTime := fs.Duration("benchtime", time.Second, "per-phase measurement budget (informational)")
 	out := fs.String("o", "", "write the JSON report to this file")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the load run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(stderr, "revload:", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(stderr, "revload:", err)
+		}
+	}()
 	cfg := Config{
 		Serials:         *serials,
 		Requests:        *requests,

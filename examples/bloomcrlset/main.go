@@ -32,9 +32,9 @@ func main() {
 	addCRL := func(i, entries int) {
 		src := crlset.SourceCRL{Parent: newParent(i), URL: fmt.Sprintf("crl-%d", i), Public: true}
 		for j := 0; j < entries; j++ {
-			serial := new(big.Int).SetUint64(rng.Uint64())
+			serial := new(big.Int).SetUint64(rng.Uint64()).Bytes()
 			src.Entries = append(src.Entries, crl.Entry{Serial: serial, Reason: crl.ReasonUnspecified})
-			allSerials = append(allSerials, serial.Bytes())
+			allSerials = append(allSerials, serial)
 			total++
 		}
 		sources = append(sources, src)

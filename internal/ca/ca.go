@@ -80,6 +80,12 @@ type Config struct {
 	// OCSP-signing certificate (id-kp-OCSPSigning EKU, RFC 6960
 	// §4.2.2.2) and sign responses with it instead of the CA key.
 	DelegatedOCSP bool
+	// CRLEncodeCacheMaxBytes caps the per-shard append-only encode cache
+	// that lets a daily re-sign DER-encode only the entries added since
+	// the previous signing. A shard whose encoded entries exceed the cap
+	// is re-encoded from scratch on every signing instead of staying
+	// resident. 0 means unlimited.
+	CRLEncodeCacheMaxBytes int
 	// PublishRevocationsImmediately makes the HTTP handler regenerate a
 	// shard's CRL as soon as a revocation lands in it, instead of
 	// serving the cached copy until its validity window lapses. Real
@@ -139,6 +145,9 @@ type Revocation struct {
 	Reason crl.Reason
 	// Record is the revoked certificate's issuance record.
 	Record *Record
+	// serialMag caches Serial's big-endian magnitude, computed once at
+	// Revoke time so CRL entry generation never re-derives it.
+	serialMag []byte
 }
 
 // CA is a certificate authority.
@@ -165,6 +174,7 @@ type CA struct {
 	// without walking the revocation list.
 	shardSeq     []int64
 	shardEnts    []shardEntCache
+	shardEnc     []shardEncCache
 	crlDER       map[int]*crlDEREntry
 	crlURLs      []string
 	shardWeights []float64 // cumulative, when ShardSkew > 0
@@ -252,6 +262,7 @@ func newCA(cfg Config, parent *CA) (*CA, error) {
 		crlNumbers:     make([]int64, cfg.NumCRLShards),
 		shardSeq:       make([]int64, cfg.NumCRLShards),
 		shardEnts:      make([]shardEntCache, cfg.NumCRLShards),
+		shardEnc:       make([]shardEncCache, cfg.NumCRLShards),
 		crlDER:         make(map[int]*crlDEREntry),
 		crlURLs:        make([]string, cfg.NumCRLShards),
 	}
@@ -449,7 +460,7 @@ func (ca *CA) Revoke(serial *big.Int, at time.Time, reason crl.Reason) error {
 		ca.mu.Unlock()
 		return fmt.Errorf("ca %s: serial %v already revoked", ca.cfg.Name, serial)
 	}
-	rev := &Revocation{Serial: new(big.Int).Set(serial), At: at, Reason: reason, Record: rec}
+	rev := &Revocation{Serial: new(big.Int).Set(serial), At: at, Reason: reason, Record: rec, serialMag: serial.Bytes()}
 	ca.revoked[key] = rev
 	ca.revokedSeq = append(ca.revokedSeq, rev)
 	ca.revokedByShard[rec.Shard] = append(ca.revokedByShard[rec.Shard], rev)
@@ -512,7 +523,7 @@ func (ca *CA) ShardPopulation() []int {
 
 // CRLEntries returns the entries that belong on shard's CRL at time now.
 func (ca *CA) CRLEntries(shard int, now time.Time) []crl.Entry {
-	entries, _ := ca.crlEntries(shard, now)
+	entries, _, _ := ca.crlEntries(shard, now)
 	return entries
 }
 
@@ -521,11 +532,16 @@ func (ca *CA) CRLEntries(shard int, now time.Time) []crl.Entry {
 // revocation lands in the shard (shardSeq), when a future-dated
 // revocation activates, or — with DropExpiredFromCRL — when an included
 // certificate expires. The window bounds the latter two exactly, so daily
-// re-reads of an unchanged shard are O(1).
+// re-reads of an unchanged shard are O(1). While the window holds, new
+// revocations extend the cached list incrementally (O(delta), appended in
+// place); only a lapsed window forces a full rebuild, which bumps resets
+// and thereby invalidates the shard's append-only encode cache.
 type shardEntCache struct {
-	seq  int64
-	gen  int64 // rebuild counter; 0 means never built
-	from time.Time
+	seq    int64
+	gen    int64 // rebuild counter; 0 means never built
+	resets int64 // full (non-incremental) rebuild counter
+	upto   int   // revokedByShard index the cached list has consumed
+	from   time.Time
 	// until is the earliest future boundary (activation or expiry) at
 	// which the cached set may change; zero when there is none.
 	until   time.Time
@@ -533,24 +549,41 @@ type shardEntCache struct {
 }
 
 // crlEntries returns the shard's entry list at time now plus the cache
-// generation it came from (a new generation per rebuild). The returned
-// slice is shared across callers and must not be mutated.
-func (ca *CA) crlEntries(shard int, now time.Time) ([]crl.Entry, int64) {
+// generation it came from (a new generation per rebuild or extension) and
+// the full-rebuild counter. The returned slice is shared across callers
+// and must not be mutated; incremental extensions only ever append beyond
+// previously returned lengths.
+func (ca *CA) crlEntries(shard int, now time.Time) ([]crl.Entry, int64, int64) {
 	ca.mu.Lock()
 	defer ca.mu.Unlock()
 	st := &ca.shardEnts[shard]
-	if st.gen != 0 && st.seq == ca.shardSeq[shard] &&
-		!now.Before(st.from) && (st.until.IsZero() || now.Before(st.until)) {
-		return st.entries, st.gen
+	revs := ca.revokedByShard[shard]
+	inWindow := st.gen != 0 && !now.Before(st.from) &&
+		(st.until.IsZero() || now.Before(st.until))
+	if inWindow && st.seq == ca.shardSeq[shard] {
+		return st.entries, st.gen, st.resets
 	}
-	var until time.Time
+	var entries []crl.Entry
+	until := st.until
+	start := st.upto
+	if !inWindow {
+		// Full rebuild: a time boundary passed (or first build). A fresh
+		// slice keeps lists previously handed to callers immutable.
+		st.resets++
+		until = time.Time{}
+		start = 0
+		entries = make([]crl.Entry, 0, len(revs))
+	} else {
+		// Same window, new revocations only: extend the cached list with
+		// the shard's unconsumed tail.
+		entries = st.entries
+	}
 	tighten := func(t time.Time) {
 		if t.After(now) && (until.IsZero() || t.Before(until)) {
 			until = t
 		}
 	}
-	entries := make([]crl.Entry, 0, len(ca.revokedByShard[shard]))
-	for _, rev := range ca.revokedByShard[shard] {
+	for _, rev := range revs[start:] {
 		if rev.At.After(now) {
 			tighten(rev.At) // not yet revoked in simulated time
 			continue
@@ -561,14 +594,15 @@ func (ca *CA) crlEntries(shard int, now time.Time) ([]crl.Entry, int64) {
 			}
 			tighten(rev.Record.NotAfter)
 		}
-		entries = append(entries, crl.Entry{Serial: rev.Serial, RevokedAt: rev.At, Reason: rev.Reason})
+		entries = append(entries, crl.Entry{Serial: rev.serialMag, RevokedAt: rev.At, Reason: rev.Reason})
 	}
 	st.seq = ca.shardSeq[shard]
 	st.gen++
+	st.upto = len(revs)
 	st.from = now
 	st.until = until
 	st.entries = entries
-	return entries, st.gen
+	return entries, st.gen, st.resets
 }
 
 // crlDEREntry caches one shard's encoded CRL, keyed by the entry-cache
@@ -578,7 +612,17 @@ type crlDEREntry struct {
 	body []byte
 }
 
-// CRLBytes builds and signs the current CRL for shard. With
+// shardEncCache is one shard's append-only entry-encoding cache plus the
+// entry-cache reset counter it was built against: when the entry list is
+// fully rebuilt (time-boundary crossings), the encodings are rebuilt too;
+// when the list merely grows, only the new entries are encoded.
+type shardEncCache struct {
+	resets int64
+	cache  crl.EncodeCache
+}
+
+// CRLBytes builds and signs the current CRL for shard, DER-encoding only
+// the entries added since the previous signing (the encode cache). With
 // ReuseUnchangedCRL configured, the previously encoded DER is returned
 // as long as the shard's revocation set is unchanged; callers must not
 // mutate the returned slice.
@@ -587,7 +631,7 @@ func (ca *CA) CRLBytes(shard int) ([]byte, error) {
 		return nil, fmt.Errorf("ca %s: no CRL shard %d", ca.cfg.Name, shard)
 	}
 	now := ca.now()
-	entries, gen := ca.crlEntries(shard, now)
+	entries, gen, resets := ca.crlEntries(shard, now)
 	if ca.cfg.ReuseUnchangedCRL {
 		ca.mu.Lock()
 		if e, ok := ca.crlDER[shard]; ok && e.gen == gen {
@@ -600,13 +644,28 @@ func (ca *CA) CRLBytes(shard int) ([]byte, error) {
 	ca.mu.Lock()
 	ca.crlNumbers[shard]++
 	number := ca.crlNumbers[shard]
+	ec := &ca.shardEnc[shard]
+	if ec.resets != resets {
+		ec.cache.Reset()
+		ec.resets = resets
+	}
+	entriesDER, encErr := ec.cache.Extend(entries)
+	if max := ca.cfg.CRLEncodeCacheMaxBytes; max > 0 && ec.cache.Size() > max {
+		// Oversized shard: don't keep the encoding resident. Reset drops
+		// the buffer without touching entriesDER.
+		ec.cache.Reset()
+	}
 	ca.mu.Unlock()
-	body, err := crl.Create(&crl.Template{
+	if encErr != nil {
+		return nil, encErr
+	}
+	// Signing happens outside the lock; entriesDER stays immutable even
+	// if concurrent signings extend or reset the shard's cache.
+	body, err := crl.CreateEncoded(&crl.Template{
 		ThisUpdate: now,
 		NextUpdate: now.Add(ca.cfg.CRLValidity),
 		Number:     big.NewInt(number),
-		Entries:    entries,
-	}, ca.cert, ca.key)
+	}, entriesDER, ca.cert, ca.key)
 	if err != nil || !ca.cfg.ReuseUnchangedCRL {
 		return body, err
 	}

@@ -520,7 +520,12 @@ func (c *Crawler) checkOCSPBatch(client *ocsp.Client, url string, issuer *x509x.
 // CheckOCSPOnly queries the responder for each OCSP-only certificate.
 // With OCSPBatchSize > 1, targets sharing a responder and issuer are
 // grouped into multi-certificate requests. Queries run with the
-// configured parallelism; results are returned in input order regardless.
+// configured parallelism across responders, but batches for the same
+// responder URL run sequentially in input order: the fault injector's
+// schedule is a pure function of (endpoint, day, attempt number), so
+// letting same-endpoint requests race for attempt numbers would make
+// which request draws an injected fault scheduling-dependent. Results
+// are returned in input order regardless.
 func (c *Crawler) CheckOCSPOnly(targets []OCSPTarget) []OCSPResult {
 	client := &ocsp.Client{HTTP: c.client()}
 	out := make([]OCSPResult, len(targets))
@@ -540,26 +545,45 @@ func (c *Crawler) CheckOCSPOnly(targets []OCSPTarget) []OCSPResult {
 			}
 		}
 	}
-	workers := c.Parallelism
-	if workers <= 1 || len(batches) <= 1 {
-		for _, batch := range batches {
+	// Group batch indices by responder URL, preserving first-appearance
+	// order within each group.
+	var groups [][][]int
+	groupOf := make(map[string]int)
+	for _, batch := range batches {
+		url := targets[batch[0]].ResponderURL
+		gi, ok := groupOf[url]
+		if !ok {
+			groups = append(groups, nil)
+			gi = len(groups) - 1
+			groupOf[url] = gi
+		}
+		groups[gi] = append(groups[gi], batch)
+	}
+	checkGroup := func(group [][]int) {
+		for _, batch := range group {
 			check(batch)
+		}
+	}
+	workers := c.Parallelism
+	if workers <= 1 || len(groups) <= 1 {
+		for _, group := range groups {
+			checkGroup(group)
 		}
 		return out
 	}
 	var wg sync.WaitGroup
-	work := make(chan []int)
+	work := make(chan [][]int)
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for batch := range work {
-				check(batch)
+			for group := range work {
+				checkGroup(group)
 			}
 		}()
 	}
-	for _, batch := range batches {
-		work <- batch
+	for _, group := range groups {
+		work <- group
 	}
 	close(work)
 	wg.Wait()

@@ -1,6 +1,7 @@
 package crl
 
 import (
+	"bytes"
 	"crypto/ecdsa"
 	"crypto/rand"
 	"crypto/x509"
@@ -12,6 +13,9 @@ import (
 
 	"repro/internal/x509x"
 )
+
+// sb returns the compact serial magnitude for a small test serial.
+func sb(v int64) []byte { return big.NewInt(v).Bytes() }
 
 var (
 	thisUpdate = time.Date(2014, 10, 2, 0, 0, 0, 0, time.UTC)
@@ -60,9 +64,9 @@ func build(t *testing.T, issuer *x509x.Certificate, key *ecdsa.PrivateKey, entri
 func TestRoundTrip(t *testing.T) {
 	issuer, key := newCA(t)
 	entries := []Entry{
-		{Serial: big.NewInt(100), RevokedAt: thisUpdate.Add(-24 * time.Hour), Reason: ReasonKeyCompromise},
-		{Serial: big.NewInt(200), RevokedAt: thisUpdate.Add(-48 * time.Hour), Reason: ReasonAbsent},
-		{Serial: new(big.Int).Lsh(big.NewInt(1), 160), RevokedAt: thisUpdate.Add(-time.Hour), Reason: ReasonCessationOfOperation},
+		{Serial: sb(100), RevokedAt: thisUpdate.Add(-24 * time.Hour), Reason: ReasonKeyCompromise},
+		{Serial: sb(200), RevokedAt: thisUpdate.Add(-48 * time.Hour), Reason: ReasonAbsent},
+		{Serial: new(big.Int).Lsh(big.NewInt(1), 160).Bytes(), RevokedAt: thisUpdate.Add(-time.Hour), Reason: ReasonCessationOfOperation},
 	}
 	c := build(t, issuer, key, entries)
 	if len(c.Entries) != 3 {
@@ -89,11 +93,11 @@ func TestLookupAndContains(t *testing.T) {
 	issuer, key := newCA(t)
 	var entries []Entry
 	for i := 1; i <= 50; i++ {
-		entries = append(entries, Entry{Serial: big.NewInt(int64(i * 7)), RevokedAt: thisUpdate, Reason: ReasonUnspecified})
+		entries = append(entries, Entry{Serial: sb(int64(i * 7)), RevokedAt: thisUpdate, Reason: ReasonUnspecified})
 	}
 	c := build(t, issuer, key, entries)
 	e, ok := c.Lookup(big.NewInt(21))
-	if !ok || e.Serial.Int64() != 21 {
+	if !ok || e.SerialBig().Int64() != 21 {
 		t.Errorf("Lookup(21) = %+v, %v", e, ok)
 	}
 	if c.Contains(big.NewInt(22)) {
@@ -146,7 +150,7 @@ func TestSignatureRejectsWrongIssuer(t *testing.T) {
 		t.Error("accepted CRL signature from wrong issuer")
 	}
 	// Tamper with an entry: signature must fail.
-	c2 := build(t, issuer, key, []Entry{{Serial: big.NewInt(5), RevokedAt: thisUpdate, Reason: ReasonAbsent}})
+	c2 := build(t, issuer, key, []Entry{{Serial: sb(5), RevokedAt: thisUpdate, Reason: ReasonAbsent}})
 	c2.RawTBS = append([]byte(nil), c2.RawTBS...)
 	c2.RawTBS[len(c2.RawTBS)-1] ^= 0x01
 	if err := c2.VerifySignature(issuer); err == nil {
@@ -160,7 +164,7 @@ func TestCreateValidation(t *testing.T) {
 	if err == nil {
 		t.Error("accepted inverted validity")
 	}
-	_, err = Create(&Template{ThisUpdate: thisUpdate, Entries: []Entry{{Serial: big.NewInt(0), RevokedAt: thisUpdate}}}, issuer, key)
+	_, err = Create(&Template{ThisUpdate: thisUpdate, Entries: []Entry{{Serial: []byte{0}, RevokedAt: thisUpdate}}}, issuer, key)
 	if err == nil {
 		t.Error("accepted zero serial")
 	}
@@ -169,8 +173,8 @@ func TestCreateValidation(t *testing.T) {
 func TestStdlibParsesOurCRL(t *testing.T) {
 	issuer, key := newCA(t)
 	entries := []Entry{
-		{Serial: big.NewInt(1234), RevokedAt: thisUpdate.Add(-time.Hour), Reason: ReasonKeyCompromise},
-		{Serial: big.NewInt(5678), RevokedAt: thisUpdate.Add(-2 * time.Hour), Reason: ReasonAbsent},
+		{Serial: sb(1234), RevokedAt: thisUpdate.Add(-time.Hour), Reason: ReasonKeyCompromise},
+		{Serial: sb(5678), RevokedAt: thisUpdate.Add(-2 * time.Hour), Reason: ReasonAbsent},
 	}
 	c := build(t, issuer, key, entries)
 	std, err := x509.ParseRevocationList(c.Raw)
@@ -240,7 +244,7 @@ func TestWeParseStdlibCRL(t *testing.T) {
 	if len(c.Entries) != 2 {
 		t.Fatalf("entries = %d", len(c.Entries))
 	}
-	if c.Entries[0].Serial.Int64() != 42 || c.Entries[0].Reason != ReasonKeyCompromise {
+	if c.Entries[0].SerialBig().Int64() != 42 || c.Entries[0].Reason != ReasonKeyCompromise {
 		t.Errorf("entry 0 = %+v", c.Entries[0])
 	}
 	if c.Number.Int64() != 3 {
@@ -260,8 +264,8 @@ func TestEntrySizeMatchesEncoding(t *testing.T) {
 	// with what Create emits.
 	issuer, key := newCA(t)
 	entries := []Entry{
-		{Serial: big.NewInt(1), RevokedAt: thisUpdate, Reason: ReasonAbsent},
-		{Serial: new(big.Int).Exp(big.NewInt(10), big.NewInt(48), nil), RevokedAt: thisUpdate, Reason: ReasonKeyCompromise},
+		{Serial: sb(1), RevokedAt: thisUpdate, Reason: ReasonAbsent},
+		{Serial: new(big.Int).Exp(big.NewInt(10), big.NewInt(48), nil).Bytes(), RevokedAt: thisUpdate, Reason: ReasonKeyCompromise},
 	}
 	both := build(t, issuer, key, entries)
 	// The revokedCertificates SEQUENCE content must be exactly the sum of
@@ -293,14 +297,34 @@ func TestEntrySizeMatchesEncoding(t *testing.T) {
 func TestEntrySizeScale(t *testing.T) {
 	// A typical small-serial entry with a reason code should be in the
 	// ballpark of the paper's 38-byte average.
-	e := Entry{Serial: big.NewInt(1 << 62), RevokedAt: thisUpdate, Reason: ReasonUnspecified}
+	e := Entry{Serial: sb(1 << 62), RevokedAt: thisUpdate, Reason: ReasonUnspecified}
 	size := EntrySize(e)
 	if size < 25 || size > 50 {
 		t.Errorf("EntrySize = %d, expected ~38", size)
 	}
-	if EntrySize(Entry{Serial: big.NewInt(-1), RevokedAt: thisUpdate}) != 0 {
+	if EntrySize(Entry{Serial: nil, RevokedAt: thisUpdate}) != 0 {
 		t.Error("invalid entry should size to 0")
 	}
+	if EntrySize(Entry{Serial: []byte{0, 0}, RevokedAt: thisUpdate}) != 0 {
+		t.Error("zero serial should size to 0")
+	}
+}
+
+// reasonNames mirrors the RFC 5280 names Reason.String must produce; the
+// production path is a switch (no map, no allocation), so the table lives
+// here as the parity oracle.
+var reasonNames = map[Reason]string{
+	ReasonAbsent:               "(absent)",
+	ReasonUnspecified:          "unspecified",
+	ReasonKeyCompromise:        "keyCompromise",
+	ReasonCACompromise:         "cACompromise",
+	ReasonAffiliationChanged:   "affiliationChanged",
+	ReasonSuperseded:           "superseded",
+	ReasonCessationOfOperation: "cessationOfOperation",
+	ReasonCertificateHold:      "certificateHold",
+	ReasonRemoveFromCRL:        "removeFromCRL",
+	ReasonPrivilegeWithdrawn:   "privilegeWithdrawn",
+	ReasonAACompromise:         "aACompromise",
 }
 
 func TestReasonStrings(t *testing.T) {
@@ -309,6 +333,11 @@ func TestReasonStrings(t *testing.T) {
 	}
 	if Reason(99).String() != "reason(99)" {
 		t.Errorf("unknown reason = %q", Reason(99))
+	}
+	for r, want := range reasonNames {
+		if got := r.String(); got != want {
+			t.Errorf("Reason(%d).String() = %q, want %q", int(r), got, want)
+		}
 	}
 }
 
@@ -364,7 +393,7 @@ func TestEntriesRoundTripProperty(t *testing.T) {
 					r = ReasonSuperseded
 				}
 			}
-			entries = append(entries, Entry{Serial: big.NewInt(int64(s)), RevokedAt: thisUpdate, Reason: r})
+			entries = append(entries, Entry{Serial: sb(int64(s)), RevokedAt: thisUpdate, Reason: r})
 		}
 		raw, err := Create(&Template{ThisUpdate: thisUpdate, NextUpdate: nextUpdate, Entries: entries}, issuer, key)
 		if err != nil {
@@ -376,7 +405,7 @@ func TestEntriesRoundTripProperty(t *testing.T) {
 		}
 		for i, e := range entries {
 			got := c.Entries[i]
-			if got.Serial.Cmp(e.Serial) != 0 || got.Reason != e.Reason || !got.RevokedAt.Equal(e.RevokedAt) {
+			if !bytes.Equal(got.Serial, e.Serial) || got.Reason != e.Reason || !got.RevokedAt.Equal(e.RevokedAt) {
 				return false
 			}
 		}

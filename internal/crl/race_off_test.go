@@ -1,0 +1,5 @@
+//go:build !race
+
+package crl
+
+const raceEnabled = false

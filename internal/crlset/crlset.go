@@ -45,16 +45,23 @@ func NewSet(sequence int) *Set {
 // Add inserts a revoked serial under a parent. Duplicate serials for the
 // same parent are ignored.
 func (s *Set) Add(p Parent, serial *big.Int) {
-	key := string(serial.Bytes())
+	s.AddSerial(p, serial.Bytes())
+}
+
+// AddSerial is Add keyed by the compact big-endian serial magnitude (what
+// crl.Entry.Serial holds). The bytes are interned on first insertion; the
+// duplicate check does not allocate.
+func (s *Set) AddSerial(p Parent, serial []byte) {
 	set, known := s.lookup[p]
 	if !known {
 		set = make(map[string]bool)
 		s.lookup[p] = set
 		s.order = append(s.order, p)
 	}
-	if set[key] {
+	if set[string(serial)] {
 		return
 	}
+	key := string(serial)
 	set[key] = true
 	s.parents[p] = append(s.parents[p], key)
 }
@@ -62,6 +69,12 @@ func (s *Set) Add(p Parent, serial *big.Int) {
 // Covers reports whether the set revokes (parent, serial).
 func (s *Set) Covers(p Parent, serial *big.Int) bool {
 	return s.lookup[p][string(serial.Bytes())]
+}
+
+// CoversSerial is Covers keyed by the compact serial magnitude; it does
+// not allocate.
+func (s *Set) CoversSerial(p Parent, serial []byte) bool {
+	return s.lookup[p][string(serial)]
 }
 
 // HasParent reports whether any entry exists for parent p.

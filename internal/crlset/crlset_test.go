@@ -93,7 +93,7 @@ func TestParseRejectsGarbage(t *testing.T) {
 func srcEntries(n int, reason crl.Reason) []crl.Entry {
 	var out []crl.Entry
 	for i := 1; i <= n; i++ {
-		out = append(out, crl.Entry{Serial: big.NewInt(int64(i)), RevokedAt: simtime.Heartbleed, Reason: reason})
+		out = append(out, crl.Entry{Serial: big.NewInt(int64(i)).Bytes(), RevokedAt: simtime.Heartbleed, Reason: reason})
 	}
 	return out
 }
@@ -101,10 +101,10 @@ func srcEntries(n int, reason crl.Reason) []crl.Entry {
 func TestGenerateReasonFilter(t *testing.T) {
 	sources := []SourceCRL{
 		{Parent: parent(1), URL: "http://a/1.crl", Public: true, Entries: []crl.Entry{
-			{Serial: big.NewInt(1), Reason: crl.ReasonKeyCompromise},
-			{Serial: big.NewInt(2), Reason: crl.ReasonSuperseded},
-			{Serial: big.NewInt(3), Reason: crl.ReasonAbsent},
-			{Serial: big.NewInt(4), Reason: crl.ReasonCessationOfOperation},
+			{Serial: big.NewInt(1).Bytes(), Reason: crl.ReasonKeyCompromise},
+			{Serial: big.NewInt(2).Bytes(), Reason: crl.ReasonSuperseded},
+			{Serial: big.NewInt(3).Bytes(), Reason: crl.ReasonAbsent},
+			{Serial: big.NewInt(4).Bytes(), Reason: crl.ReasonCessationOfOperation},
 		}},
 	}
 	set := Generate(GeneratorConfig{FilterReasons: true}, sources, 1)
@@ -173,8 +173,8 @@ func TestGenerateRespectsSizeCap(t *testing.T) {
 func TestAnalyzeCoverage(t *testing.T) {
 	sources := []SourceCRL{
 		{Parent: parent(1), URL: "http://a", Public: true, Entries: []crl.Entry{
-			{Serial: big.NewInt(1), Reason: crl.ReasonKeyCompromise},
-			{Serial: big.NewInt(2), Reason: crl.ReasonSuperseded},
+			{Serial: big.NewInt(1).Bytes(), Reason: crl.ReasonKeyCompromise},
+			{Serial: big.NewInt(2).Bytes(), Reason: crl.ReasonSuperseded},
 		}},
 		{Parent: parent(2), URL: "http://b", Public: true, Entries: srcEntries(8, crl.ReasonSuperseded)},
 	}

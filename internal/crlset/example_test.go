@@ -15,11 +15,11 @@ func ExampleGenerate() {
 	parentA[0], parentB[0] = 1, 2
 	sources := []crlset.SourceCRL{
 		{Parent: parentA, URL: "http://small.example/1.crl", Public: true, Entries: []crl.Entry{
-			{Serial: big.NewInt(100), Reason: crl.ReasonKeyCompromise},
-			{Serial: big.NewInt(101), Reason: crl.ReasonSuperseded}, // filtered: not CRLSet-eligible
+			{Serial: big.NewInt(100).Bytes(), Reason: crl.ReasonKeyCompromise},
+			{Serial: big.NewInt(101).Bytes(), Reason: crl.ReasonSuperseded}, // filtered: not CRLSet-eligible
 		}},
 		{Parent: parentB, URL: "http://private.example/1.crl", Public: false, Entries: []crl.Entry{
-			{Serial: big.NewInt(200), Reason: crl.ReasonKeyCompromise}, // skipped: not crawled
+			{Serial: big.NewInt(200).Bytes(), Reason: crl.ReasonKeyCompromise}, // skipped: not crawled
 		}},
 	}
 	set := crlset.Generate(crlset.GeneratorConfig{FilterReasons: true}, sources, 1)

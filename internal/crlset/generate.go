@@ -20,7 +20,7 @@ type SourceCRL struct {
 }
 
 type serialEntry struct {
-	serial *big.Int
+	serial []byte // compact big-endian magnitude, aliasing crl.Entry.Serial
 }
 
 // GeneratorConfig captures Google's documented CRLSet construction rules
@@ -83,13 +83,13 @@ func Generate(cfg GeneratorConfig, sources []SourceCRL, sequence int) *Set {
 		// (1 + len) bytes.
 		add := 36
 		for _, e := range entries {
-			add += 1 + len(e.serial.Bytes())
+			add += 1 + len(e.serial)
 		}
 		if size+add > cfg.MaxBytes {
 			continue
 		}
 		for _, e := range entries {
-			set.Add(p, e.serial)
+			set.AddSerial(p, e.serial)
 		}
 		size += add
 	}
@@ -228,7 +228,7 @@ func AnalyzeCoverage(set *Set, sources []SourceCRL) Coverage {
 				cov.EligibleRevocations++
 				eligible++
 			}
-			if set.Covers(src.Parent, e.Serial) {
+			if set.CoversSerial(src.Parent, e.Serial) {
 				cov.CoveredRevocations++
 				inSet++
 				if e.Reason.CRLSetEligible() {

@@ -1,0 +1,197 @@
+package der
+
+import (
+	"sync"
+	"time"
+)
+
+// Builder incrementally encodes DER into a single growing buffer,
+// cryptobyte-style: Begin writes the identifier plus a one-byte length
+// placeholder, End back-patches the real length (shifting the content only
+// in the rare case it exceeds 127 bytes). Leaf appenders (UnsignedInteger,
+// Time, ...) know their content length up front and write headers
+// directly. The zero value is ready to use; the byte output is identical
+// to the package-level one-shot encoders.
+type Builder struct {
+	buf   []byte
+	marks []int
+}
+
+// MaxPooledBuilderBytes caps the buffer capacity a Builder may retain when
+// returned to the pool with PutBuilder. Builders that grew past it (e.g.
+// encoding a Heartbleed-scale CRL) are dropped rather than pinning tens of
+// megabytes in the pool.
+var MaxPooledBuilderBytes = 1 << 20
+
+var builderPool = sync.Pool{New: func() interface{} { return new(Builder) }}
+
+// GetBuilder returns an empty Builder from the pool.
+func GetBuilder() *Builder {
+	return builderPool.Get().(*Builder)
+}
+
+// PutBuilder resets b and returns it to the pool. The caller must be done
+// with every slice obtained from Bytes; use Take for output that outlives
+// the builder.
+func PutBuilder(b *Builder) {
+	if cap(b.buf) > MaxPooledBuilderBytes {
+		return
+	}
+	b.Reset()
+	builderPool.Put(b)
+}
+
+// Reset empties the builder, retaining its buffer.
+func (b *Builder) Reset() {
+	b.buf = b.buf[:0]
+	b.marks = b.marks[:0]
+}
+
+// Len returns the number of bytes encoded so far.
+func (b *Builder) Len() int { return len(b.buf) }
+
+// Bytes returns the encoded bytes. The slice aliases the builder's buffer
+// and is invalidated by further appends, Reset, or PutBuilder.
+func (b *Builder) Bytes() []byte { return b.buf }
+
+// Take returns the encoded bytes and detaches them from the builder, which
+// is left empty with a fresh (nil) buffer.
+func (b *Builder) Take() []byte {
+	out := b.buf
+	b.buf = nil
+	b.marks = b.marks[:0]
+	return out
+}
+
+// Begin opens a TLV whose content is everything appended until the
+// matching End.
+func (b *Builder) Begin(h Header) {
+	b.buf = appendIdentifier(b.buf, h)
+	b.marks = append(b.marks, len(b.buf))
+	b.buf = append(b.buf, 0) // length placeholder, patched by End
+}
+
+// BeginSequence opens a SEQUENCE.
+func (b *Builder) BeginSequence() {
+	b.Begin(Header{Tag: TagSequence, Constructed: true})
+}
+
+// End closes the innermost Begin, back-patching its length.
+func (b *Builder) End() {
+	m := b.marks[len(b.marks)-1]
+	b.marks = b.marks[:len(b.marks)-1]
+	n := len(b.buf) - m - 1
+	if n < 0x80 {
+		b.buf[m] = byte(n)
+		return
+	}
+	extra := 1
+	for lim := 0x100; n >= lim && extra < 4; lim <<= 8 {
+		extra++
+	}
+	b.buf = append(b.buf, make([]byte, extra)...)
+	copy(b.buf[m+1+extra:], b.buf[m+1:len(b.buf)-extra])
+	b.buf[m] = 0x80 | byte(extra)
+	for i := 0; i < extra; i++ {
+		b.buf[m+1+i] = byte(n >> (8 * (extra - 1 - i)))
+	}
+}
+
+// Raw appends already-encoded TLV bytes.
+func (b *Builder) Raw(p []byte) { b.buf = append(b.buf, p...) }
+
+// primitive appends the header of a universal primitive with a known
+// content length.
+func (b *Builder) primitive(tag int, contentLen int) {
+	b.buf = appendIdentifier(b.buf, Header{Tag: tag})
+	b.buf = appendLength(b.buf, contentLen)
+}
+
+// UnsignedInteger appends an INTEGER from a big-endian magnitude (leading
+// zeros permitted; empty means zero), the counterpart of Integer for
+// compact non-negative serials.
+func (b *Builder) UnsignedInteger(mag []byte) {
+	for len(mag) > 0 && mag[0] == 0 {
+		mag = mag[1:]
+	}
+	n := len(mag)
+	pad := false
+	switch {
+	case n == 0:
+		b.primitive(TagInteger, 1)
+		b.buf = append(b.buf, 0)
+		return
+	case mag[0]&0x80 != 0:
+		pad = true
+		n++
+	}
+	b.primitive(TagInteger, n)
+	if pad {
+		b.buf = append(b.buf, 0)
+	}
+	b.buf = append(b.buf, mag...)
+}
+
+// appendInt64Content appends the minimal two's-complement encoding of v —
+// the int64 counterpart of integerContent.
+func appendInt64Content(dst []byte, v int64) []byte {
+	var tmp [8]byte
+	for i := 7; i >= 0; i-- {
+		tmp[i] = byte(v)
+		v >>= 8
+	}
+	i := 0
+	for i < 7 && ((tmp[i] == 0 && tmp[i+1]&0x80 == 0) || (tmp[i] == 0xff && tmp[i+1]&0x80 != 0)) {
+		i++
+	}
+	return append(dst, tmp[i:]...)
+}
+
+// int64ContentLen returns the byte length appendInt64Content would emit.
+func int64ContentLen(v int64) int {
+	n := 8
+	for n > 1 {
+		top := byte(v >> ((n - 1) * 8))
+		next := byte(v >> ((n - 2) * 8))
+		if (top == 0 && next&0x80 == 0) || (top == 0xff && next&0x80 != 0) {
+			n--
+			continue
+		}
+		break
+	}
+	return n
+}
+
+// Int appends an INTEGER from an int64.
+func (b *Builder) Int(v int64) {
+	b.primitive(TagInteger, int64ContentLen(v))
+	b.buf = appendInt64Content(b.buf, v)
+}
+
+// Enumerated appends an ENUMERATED from an int64.
+func (b *Builder) Enumerated(v int64) {
+	b.primitive(TagEnumerated, int64ContentLen(v))
+	b.buf = appendInt64Content(b.buf, v)
+}
+
+// Time appends a timestamp under X.509's rule: UTCTime for years in
+// [1950, 2049], GeneralizedTime otherwise.
+func (b *Builder) Time(t time.Time) {
+	t = t.UTC()
+	if y := t.Year(); y >= 1950 && y < 2050 {
+		b.primitive(TagUTCTime, len(utcTimeFormat))
+		b.buf = t.AppendFormat(b.buf, utcTimeFormat)
+		return
+	}
+	// Years outside [0, 9999] format to a different width than the
+	// layout string; Begin/End measures the actual bytes.
+	b.Begin(Header{Tag: TagGeneralizedTime})
+	b.buf = t.AppendFormat(b.buf, generalizedTimeFormat)
+	b.End()
+}
+
+// OctetString appends an OCTET STRING.
+func (b *Builder) OctetString(p []byte) {
+	b.primitive(TagOctetString, len(p))
+	b.buf = append(b.buf, p...)
+}

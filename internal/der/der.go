@@ -67,47 +67,55 @@ type Value struct {
 	Full []byte
 }
 
-// encodeHeader appends the identifier and length octets for (h, length).
-func encodeHeader(dst []byte, h Header, length int) []byte {
+// appendIdentifier appends the identifier octets for h.
+func appendIdentifier(dst []byte, h Header) []byte {
 	b := byte(h.Class) << 6
 	if h.Constructed {
 		b |= 0x20
 	}
 	if h.Tag < 31 {
-		dst = append(dst, b|byte(h.Tag))
-	} else {
-		// High-tag-number form (not used by the PKI formats, but
-		// supported for completeness).
-		dst = append(dst, b|0x1f)
-		var stack [5]byte
-		n := 0
-		t := h.Tag
-		for t > 0 {
-			stack[n] = byte(t & 0x7f)
-			t >>= 7
-			n++
-		}
-		for i := n - 1; i >= 0; i-- {
-			v := stack[i]
-			if i > 0 {
-				v |= 0x80
-			}
-			dst = append(dst, v)
-		}
+		return append(dst, b|byte(h.Tag))
 	}
-	switch {
-	case length < 0x80:
-		dst = append(dst, byte(length))
-	case length < 0x100:
-		dst = append(dst, 0x81, byte(length))
-	case length < 0x10000:
-		dst = append(dst, 0x82, byte(length>>8), byte(length))
-	case length < 0x1000000:
-		dst = append(dst, 0x83, byte(length>>16), byte(length>>8), byte(length))
-	default:
-		dst = append(dst, 0x84, byte(length>>24), byte(length>>16), byte(length>>8), byte(length))
+	// High-tag-number form (not used by the PKI formats, but supported
+	// for completeness).
+	dst = append(dst, b|0x1f)
+	var stack [5]byte
+	n := 0
+	t := h.Tag
+	for t > 0 {
+		stack[n] = byte(t & 0x7f)
+		t >>= 7
+		n++
+	}
+	for i := n - 1; i >= 0; i-- {
+		v := stack[i]
+		if i > 0 {
+			v |= 0x80
+		}
+		dst = append(dst, v)
 	}
 	return dst
+}
+
+// appendLength appends the definite minimal length octets.
+func appendLength(dst []byte, length int) []byte {
+	switch {
+	case length < 0x80:
+		return append(dst, byte(length))
+	case length < 0x100:
+		return append(dst, 0x81, byte(length))
+	case length < 0x10000:
+		return append(dst, 0x82, byte(length>>8), byte(length))
+	case length < 0x1000000:
+		return append(dst, 0x83, byte(length>>16), byte(length>>8), byte(length))
+	default:
+		return append(dst, 0x84, byte(length>>24), byte(length>>16), byte(length>>8), byte(length))
+	}
+}
+
+// encodeHeader appends the identifier and length octets for (h, length).
+func encodeHeader(dst []byte, h Header, length int) []byte {
+	return appendLength(appendIdentifier(dst, h), length)
 }
 
 // TLV encodes one tag-length-value with the given header and content.
@@ -429,32 +437,24 @@ func (v Value) Integer() (*big.Int, error) {
 	return intContent(v.Content)
 }
 
-// Enumerated decodes an ENUMERATED into an int64.
+// Enumerated decodes an ENUMERATED into an int64 without allocating.
 func (v Value) Enumerated() (int64, error) {
 	if err := v.expect(TagEnumerated, false); err != nil {
 		return 0, err
 	}
-	i, err := intContent(v.Content)
+	i, fits, err := intContentInt64(v.Content)
 	if err != nil {
 		return 0, err
 	}
-	if !i.IsInt64() {
-		return 0, errors.New("der: enumerated value out of int64 range")
+	if !fits {
+		return 0, errEnumRange
 	}
-	return i.Int64(), nil
+	return i, nil
 }
 
 func intContent(c []byte) (*big.Int, error) {
-	if len(c) == 0 {
-		return nil, errors.New("der: empty integer")
-	}
-	if len(c) > 1 {
-		if c[0] == 0 && c[1]&0x80 == 0 {
-			return nil, errors.New("der: non-minimal integer (leading zero)")
-		}
-		if c[0] == 0xff && c[1]&0x80 != 0 {
-			return nil, errors.New("der: non-minimal integer (leading ones)")
-		}
+	if err := checkIntContent(c); err != nil {
+		return nil, err
 	}
 	out := new(big.Int).SetBytes(c)
 	if c[0]&0x80 != 0 {
@@ -464,16 +464,19 @@ func intContent(c []byte) (*big.Int, error) {
 	return out, nil
 }
 
-// Int64 decodes an INTEGER that must fit an int64.
+// Int64 decodes an INTEGER that must fit an int64, without allocating.
 func (v Value) Int64() (int64, error) {
-	i, err := v.Integer()
+	if err := v.expect(TagInteger, false); err != nil {
+		return 0, err
+	}
+	i, fits, err := intContentInt64(v.Content)
 	if err != nil {
 		return 0, err
 	}
-	if !i.IsInt64() {
-		return 0, errors.New("der: integer out of int64 range")
+	if !fits {
+		return 0, errIntRange
 	}
-	return i.Int64(), nil
+	return i, nil
 }
 
 // Bool decodes a BOOLEAN. DER requires TRUE to be exactly 0xff.
@@ -550,8 +553,10 @@ func (v Value) DecodeString() (string, error) {
 	}
 }
 
-// Time decodes a UTCTime or GeneralizedTime.
-func (v Value) Time() (time.Time, error) {
+// timeSlow is the reference timestamp decoder: strict time.Parse
+// validation, one allocation for the string conversion. Value.Time (in
+// stream.go) routes canonical encodings around it.
+func (v Value) timeSlow() (time.Time, error) {
 	if v.Class != ClassUniversal || v.Constructed {
 		return time.Time{}, fmt.Errorf("der: not a time type (%s)", v.Header)
 	}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package der
+
+const raceEnabled = false

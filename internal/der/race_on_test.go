@@ -1,0 +1,8 @@
+//go:build race
+
+package der
+
+// raceEnabled gates allocation-count assertions: the race detector
+// inhibits inlining/escape optimizations and perturbs sync.Pool, so
+// testing.AllocsPerRun numbers are not meaningful under -race.
+const raceEnabled = true

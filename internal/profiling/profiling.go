@@ -1,0 +1,52 @@
+// Package profiling wires the standard -cpuprofile/-memprofile flags into
+// the load and chaos commands so the hot paths this repo optimizes (DER
+// streaming, OCSP serving, fault replay) can be inspected with
+// `go tool pprof` without a rebuild.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (when non-empty) and returns a
+// stop function that ends the CPU profile and, when memPath is non-empty,
+// writes a heap profile (after a GC, so live-set numbers are accurate).
+// The stop function is safe to call exactly once, typically deferred.
+func Start(cpuPath, memPath string) (func() error, error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		cpuFile = f
+	}
+	stop := func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cpuprofile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+		}
+		return nil
+	}
+	return stop, nil
+}

@@ -28,17 +28,20 @@ type Entry struct {
 	LastSeen time.Time
 }
 
-func key(crlURL string, serial *big.Int) string {
-	return crlURL + "\x00" + string(serial.Bytes())
-}
-
 // urlState tracks one CRL URL's most recently ingested version, enabling
 // the delta fast path: daily crawls mostly re-deliver unchanged CRLs
 // (the crawler's parse cache returns the identical *crl.CRL for an
-// unchanged body), and those cost O(1) instead of an entry walk.
+// unchanged body), and those cost O(1) instead of an entry walk. It also
+// owns the URL's serial index: keying entries per URL by the compact
+// serial bytes — interned once, on first sight, when the map insert copies
+// the key — replaces the url+"\x00"+serial string the old flat map built
+// on every single lookup.
 type urlState struct {
 	// last is the CRL object most recently ingested for this URL.
 	last *crl.CRL
+	// bySerial indexes this URL's entries by compact serial magnitude.
+	// Lookups with a []byte key compile to zero-allocation map access.
+	bySerial map[string]*Entry
 	// present are the database entries contained in last, in CRL order.
 	present []*Entry
 	// pending, when non-zero, is a LastSeen day not yet written to the
@@ -48,10 +51,9 @@ type urlState struct {
 
 // DB is the revocation database. The zero value is unusable; use New.
 type DB struct {
-	mu      sync.Mutex
-	entries map[string]*Entry
-	order   []*Entry
-	byURL   map[string]*urlState
+	mu    sync.Mutex
+	order []*Entry
+	byURL map[string]*urlState
 	// dirty reports whether any urlState holds an unflushed LastSeen.
 	dirty bool
 }
@@ -59,8 +61,7 @@ type DB struct {
 // New returns an empty database.
 func New() *DB {
 	return &DB{
-		entries: make(map[string]*Entry),
-		byURL:   make(map[string]*urlState),
+		byURL: make(map[string]*urlState),
 	}
 }
 
@@ -84,7 +85,8 @@ func (db *DB) flushLocked() {
 // IngestSnapshot merges one crawl day into the database and returns how
 // many previously unseen revocations it contained (the "CRL Entries" line
 // of Figure 9). A CRL identical (same object) to the URL's previously
-// ingested version is recorded in O(1).
+// ingested version is recorded in O(1); a re-signed CRL with unchanged
+// entries walks the compact entries without allocating.
 func (db *DB) IngestSnapshot(snap *crawler.Snapshot) int {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -100,7 +102,7 @@ func (db *DB) IngestSnapshot(snap *crawler.Snapshot) int {
 		c := snap.CRLs[url]
 		st := db.byURL[url]
 		if st == nil {
-			st = &urlState{}
+			st = &urlState{bySerial: make(map[string]*Entry)}
 			db.byURL[url] = st
 		}
 		if st.last == c {
@@ -118,23 +120,22 @@ func (db *DB) IngestSnapshot(snap *crawler.Snapshot) int {
 			}
 			st.pending = time.Time{}
 		}
-		if cap(st.present) < len(c.Entries) {
-			st.present = make([]*Entry, 0, len(c.Entries))
+		if cap(st.present) < c.NumEntries() {
+			st.present = make([]*Entry, 0, c.NumEntries())
 		} else {
 			st.present = st.present[:0]
 		}
 		for _, e := range c.Entries {
-			k := key(url, e.Serial)
-			known, ok := db.entries[k]
+			known, ok := st.bySerial[string(e.Serial)]
 			if !ok {
 				known = &Entry{
 					CRLURL:    url,
-					Serial:    e.Serial,
+					Serial:    e.SerialBig(),
 					RevokedAt: e.RevokedAt,
 					Reason:    e.Reason,
 					FirstSeen: snap.Day,
 				}
-				db.entries[k] = known
+				st.bySerial[string(e.Serial)] = known
 				db.order = append(db.order, known)
 				added++
 			}
@@ -147,13 +148,31 @@ func (db *DB) IngestSnapshot(snap *crawler.Snapshot) int {
 	return added
 }
 
+// lookupLocked resolves (crlURL, compact serial) without allocating.
+func (db *DB) lookupLocked(crlURL string, serial []byte) (*Entry, bool) {
+	st := db.byURL[crlURL]
+	if st == nil {
+		return nil, false
+	}
+	e, ok := st.bySerial[string(serial)]
+	return e, ok
+}
+
 // Lookup returns the entry for (crlURL, serial), if known.
 func (db *DB) Lookup(crlURL string, serial *big.Int) (*Entry, bool) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.flushLocked()
-	e, ok := db.entries[key(crlURL, serial)]
-	return e, ok
+	return db.lookupLocked(crlURL, serial.Bytes())
+}
+
+// LookupSerial is Lookup keyed by the compact serial magnitude (what
+// crl.Entry.Serial holds).
+func (db *DB) LookupSerial(crlURL string, serial []byte) (*Entry, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.flushLocked()
+	return db.lookupLocked(crlURL, serial)
 }
 
 // RevokedAsOf reports whether the certificate was revoked with a
@@ -174,7 +193,7 @@ func (db *DB) ObservedBy(crlURL string, serial *big.Int, t time.Time) bool {
 func (db *DB) Size() int {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return len(db.entries)
+	return len(db.order)
 }
 
 // Entries returns all revocations in first-seen order. The slice is a

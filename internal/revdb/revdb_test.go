@@ -24,15 +24,15 @@ func TestIngestTracksFirstAndLastSeen(t *testing.T) {
 	url := "http://crl.test/0.crl"
 	revokedAt := d0.Add(-12 * time.Hour)
 
-	added := db.IngestSnapshot(snap(d0, url, crl.Entry{Serial: big.NewInt(5), RevokedAt: revokedAt, Reason: crl.ReasonKeyCompromise}))
+	added := db.IngestSnapshot(snap(d0, url, crl.Entry{Serial: big.NewInt(5).Bytes(), RevokedAt: revokedAt, Reason: crl.ReasonKeyCompromise}))
 	if added != 1 || db.Size() != 1 {
 		t.Fatalf("added=%d size=%d", added, db.Size())
 	}
 	// Second day: same entry plus a new one.
 	d1 := d0.AddDate(0, 0, 1)
 	added = db.IngestSnapshot(snap(d1, url,
-		crl.Entry{Serial: big.NewInt(5), RevokedAt: revokedAt, Reason: crl.ReasonKeyCompromise},
-		crl.Entry{Serial: big.NewInt(6), RevokedAt: d1, Reason: crl.ReasonAbsent},
+		crl.Entry{Serial: big.NewInt(5).Bytes(), RevokedAt: revokedAt, Reason: crl.ReasonKeyCompromise},
+		crl.Entry{Serial: big.NewInt(6).Bytes(), RevokedAt: d1, Reason: crl.ReasonAbsent},
 	))
 	if added != 1 || db.Size() != 2 {
 		t.Fatalf("second ingest: added=%d size=%d", added, db.Size())
@@ -54,7 +54,7 @@ func TestRevokedAsOfVsObservedBy(t *testing.T) {
 	url := "http://crl.test/0.crl"
 	revokedAt := simtime.Date(2014, time.September, 1)
 	firstSeen := simtime.CrawlStart // October 2
-	db.IngestSnapshot(snap(firstSeen, url, crl.Entry{Serial: big.NewInt(9), RevokedAt: revokedAt}))
+	db.IngestSnapshot(snap(firstSeen, url, crl.Entry{Serial: big.NewInt(9).Bytes(), RevokedAt: revokedAt}))
 
 	// Revoked in September, but a client could only observe it from
 	// October 2's crawl.
@@ -85,10 +85,10 @@ func TestDailyAdditionsAndGrouping(t *testing.T) {
 	url1, url2 := "http://crl.test/0.crl", "http://crl.test/1.crl"
 	d0 := simtime.CrawlStart
 	db.IngestSnapshot(snap(d0, url1,
-		crl.Entry{Serial: big.NewInt(1), RevokedAt: d0},
-		crl.Entry{Serial: big.NewInt(2), RevokedAt: d0},
+		crl.Entry{Serial: big.NewInt(1).Bytes(), RevokedAt: d0},
+		crl.Entry{Serial: big.NewInt(2).Bytes(), RevokedAt: d0},
 	))
-	db.IngestSnapshot(snap(d0.AddDate(0, 0, 1), url2, crl.Entry{Serial: big.NewInt(3), RevokedAt: d0}))
+	db.IngestSnapshot(snap(d0.AddDate(0, 0, 1), url2, crl.Entry{Serial: big.NewInt(3).Bytes(), RevokedAt: d0}))
 
 	daily := db.DailyAdditions()
 	if daily[d0] != 2 || daily[d0.AddDate(0, 0, 1)] != 1 {
@@ -108,7 +108,7 @@ func TestIngestUnchangedCRLFastPath(t *testing.T) {
 	d0 := simtime.CrawlStart
 	url := "http://crl.test/0.crl"
 	c := &crl.CRL{Entries: []crl.Entry{
-		{Serial: big.NewInt(5), RevokedAt: d0.Add(-time.Hour), Reason: crl.ReasonKeyCompromise},
+		{Serial: big.NewInt(5).Bytes(), RevokedAt: d0.Add(-time.Hour), Reason: crl.ReasonKeyCompromise},
 	}}
 	if added := db.IngestSnapshot(&crawler.Snapshot{Day: d0, CRLs: map[string]*crl.CRL{url: c}}); added != 1 {
 		t.Fatalf("added = %d", added)
@@ -133,7 +133,7 @@ func TestIngestUnchangedCRLFastPath(t *testing.T) {
 	// LastSeen from the final day it was actually present.
 	d3 := d0.AddDate(0, 0, 3)
 	c2 := &crl.CRL{Entries: []crl.Entry{
-		{Serial: big.NewInt(6), RevokedAt: d3, Reason: crl.ReasonAbsent},
+		{Serial: big.NewInt(6).Bytes(), RevokedAt: d3, Reason: crl.ReasonAbsent},
 	}}
 	if added := db.IngestSnapshot(&crawler.Snapshot{Day: d3, CRLs: map[string]*crl.CRL{url: c2}}); added != 1 {
 		t.Fatalf("changed ingest added %d", added)
@@ -155,7 +155,7 @@ func benchSnapshot(day time.Time, nURLs, nEntries int) *crawler.Snapshot {
 		entries := make([]crl.Entry, nEntries)
 		for i := range entries {
 			entries[i] = crl.Entry{
-				Serial:    big.NewInt(int64(u*nEntries + i + 1)),
+				Serial:    big.NewInt(int64(u*nEntries + i + 1)).Bytes(),
 				RevokedAt: day.Add(-time.Hour),
 				Reason:    crl.ReasonUnspecified,
 			}
