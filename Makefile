@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check vet build test race race-hot bench-smoke bench bench-all bench-crl bench-crl-check chaos fuzz-short
+.PHONY: check vet build test race race-hot bench-smoke bench bench-all bench-crl bench-crl-check bench-fleet bench-fleet-check chaos fuzz-short
 
 # check is the full pre-merge gate: static checks, race-enabled tests on
 # the concurrency-hot packages and then the whole tree, the chaos
 # differential harness on its fixed seeds, a short fuzz pass over the
 # DER-facing parsers, and a one-iteration smoke of the end-to-end
 # world-build benchmark.
-check: vet build race-hot race chaos fuzz-short bench-smoke bench-crl-check
+check: vet build race-hot race chaos fuzz-short bench-smoke bench-crl-check bench-fleet-check
 
 vet:
 	$(GO) vet ./...
@@ -22,10 +22,10 @@ race:
 	$(GO) test -race ./...
 
 # race-hot gives fast feedback on the packages where the serving-layer
-# concurrency lives (pre-signed OCSP cache, batched crawler pool, fault
-# injector, chaos harness).
+# and client-layer concurrency lives (pre-signed OCSP cache, batched
+# crawler pool, fault injector, sharded browser cache, fleet driver).
 race-hot:
-	$(GO) test -race ./internal/ocsp ./internal/crawler ./internal/faultnet/...
+	$(GO) test -race ./internal/ocsp ./internal/crawler ./internal/faultnet/... ./internal/browser ./internal/fleet
 
 # chaos runs the seeded fault-injection differential harness: fixed seeds,
 # each played twice faulted and once clean, asserting determinism,
@@ -66,3 +66,16 @@ bench-crl:
 # against the numbers recorded in BENCH_pr4.json.
 bench-crl-check:
 	$(GO) run ./cmd/benchcrl -check BENCH_pr4.json -quick
+
+# bench-fleet regenerates BENCH_pr5.json: the client-side fleet record
+# (seed single-mutex cache vs sharded singleflight cache vs CRLSet/Bloom
+# fast paths) at the full population.
+bench-fleet:
+	$(GO) run ./cmd/fleetload -o BENCH_pr5.json
+
+# bench-fleet-check re-runs the fleet phases on a small population and
+# fails if any acceptance gate (alloc reduction, singleflight collapse,
+# warm hit ratio, worker-count determinism, CRLSet offline) breaks or the
+# warm allocs/verdict regress against BENCH_pr5.json.
+bench-fleet-check:
+	$(GO) run ./cmd/fleetload -check BENCH_pr5.json -quick

@@ -28,6 +28,7 @@ import (
 	"repro/internal/crlbench"
 	"repro/internal/crlset"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/ocsp"
 	"repro/internal/simnet"
 	"repro/internal/simtime"
@@ -555,5 +556,98 @@ func BenchmarkSuiteBuild(b *testing.B) {
 		if len(s.Cases) < 244 {
 			b.Fatalf("cases = %d", len(s.Cases))
 		}
+	}
+}
+
+// --- Browser fleet (client-side revocation engine, PR 5) ---
+
+var (
+	fleetOnce  sync.Once
+	fleetWorld *fleet.World
+	fleetErr   error
+)
+
+func benchFleetWorld(b *testing.B) *fleet.World {
+	b.Helper()
+	fleetOnce.Do(func() {
+		fleetWorld, fleetErr = fleet.New(fleet.Config{
+			Browsers: 32, Certs: 128, EvalsPerBrowser: 16, Seed: 42,
+		})
+	})
+	if fleetErr != nil {
+		b.Fatal(fleetErr)
+	}
+	return fleetWorld
+}
+
+// BenchmarkBrowserFleet measures one fleet pass (every browser's plan,
+// 512 verdicts) per op under the three cache regimes the fleetload
+// harness gates: a cold sharded cache per op, a pre-warmed shared cache,
+// and the CRLSet local fast path.
+func BenchmarkBrowserFleet(b *testing.B) {
+	w := benchFleetWorld(b)
+	b.Run("ColdCache", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := w.Run(fleet.RunOptions{Workers: 4, Store: browser.NewCache()}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("WarmCache", func(b *testing.B) {
+		store := browser.NewCache()
+		if _, err := w.Run(fleet.RunOptions{Workers: 4, Store: store}); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := w.Run(fleet.RunOptions{Workers: 4, Store: store}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("CRLSetFastPath", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := w.Run(fleet.RunOptions{Workers: 4, CRLSet: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBrowserVerdictWarm isolates one warm-cache verdict on the
+// sharded cache versus the seed single-mutex cache — the allocs/op
+// difference is the PR's client-side gate.
+func BenchmarkBrowserVerdictWarm(b *testing.B) {
+	w := benchFleetWorld(b)
+	chain := w.Chains[0]
+	for _, tc := range []struct {
+		name  string
+		store browser.Store
+	}{
+		{"Sharded", browser.NewCache()},
+		{"SingleLock", browser.NewSingleLockCache()},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			client := &browser.Client{
+				Profile: browser.Hardened(),
+				HTTP:    w.Net.Client(),
+				Now:     w.Clock.Now,
+				Cache:   tc.store,
+			}
+			var v browser.Verdict
+			if err := client.EvaluateInto(&v, chain, nil); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := client.EvaluateInto(&v, chain, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRunFleetSmoke(t *testing.T) {
+	var stdout bytes.Buffer
+	// The -quick population: large enough that per-run fixed overhead
+	// (worker spawns, first Events growth) does not dilute the
+	// allocs/verdict gate.
+	rep, err := runFleet(Config{
+		Browsers:        32,
+		Certs:           96,
+		EvalsPerBrowser: 16,
+		Workers:         2,
+		ZipfS:           1.2,
+		RevokedFraction: 0.1,
+		CRLOnlyFraction: 0.3,
+		StampedeClients: 24,
+		Seed:            1,
+	}, &stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"legacy-cold", "legacy-warm", "sharded-cold", "sharded-warm",
+		"crlset-fastpath", "bloom-fastpath",
+	} {
+		p := rep.phase(name)
+		if p == nil {
+			t.Fatalf("phase %q missing", name)
+		}
+		if p.Verdicts != 32*16 {
+			t.Errorf("%s: %d verdicts, want %d", name, p.Verdicts, 32*16)
+		}
+	}
+	if err := checkGates(rep); err != nil {
+		t.Errorf("gates: %v", err)
+	}
+	if rep.Stampede.Fetches != 1 {
+		t.Errorf("stampede fetches = %d", rep.Stampede.Fetches)
+	}
+	if !rep.Determinism.Match {
+		t.Errorf("determinism digests diverge: %+v", rep.Determinism)
+	}
+	if cold, warm := rep.phase("sharded-cold"), rep.phase("sharded-warm"); warm.NetRequests != 0 || cold.NetRequests == 0 {
+		t.Errorf("net requests: cold %d, warm %d", cold.NetRequests, warm.NetRequests)
+	}
+}
+
+func TestRunQuickCheckRoundTrip(t *testing.T) {
+	// A -quick run's own report must satisfy checkAgainst against itself
+	// (the same invariant -o enforces before writing).
+	var stdout bytes.Buffer
+	rep, err := runFleet(Config{
+		Browsers:        32,
+		Certs:           96,
+		EvalsPerBrowser: 16,
+		Workers:         1,
+		ZipfS:           1.2,
+		RevokedFraction: 0.1,
+		CRLOnlyFraction: 0.3,
+		StampedeClients: 16,
+		Seed:            1, // the flag default: what -check gates in CI
+	}, &stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recorded Report
+	if err := json.Unmarshal(data, &recorded); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkAgainst(&recorded, rep); err != nil {
+		t.Errorf("self-check: %v", err)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-nope"}, &stdout, &stderr); code == 0 {
+		t.Error("unknown flag accepted")
+	}
+	if code := run([]string{"-o", "x.json", "-check", "y.json"}, &stdout, &stderr); code == 0 {
+		t.Error("-o with -check accepted")
+	}
+}

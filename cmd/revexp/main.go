@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 	"repro/internal/workload"
 )
 
@@ -34,9 +35,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "simulation seed")
 	only := fs.String("only", "", "comma-separated experiment IDs (default: all)")
 	outdir := fs.String("outdir", "", "also write each experiment's rows as a tab-separated .dat file here")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(stderr, "revexp:", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(stderr, "revexp:", err)
+		}
+	}()
 
 	cfg := workload.DefaultConfig()
 	cfg.Scale = *scale

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"repro/internal/browser"
+	"repro/internal/profiling"
 	"repro/internal/testsuite"
 )
 
@@ -27,9 +28,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("testsuite", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	profileName := fs.String("profile", "", "print per-case outcomes for this profile only")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(stderr, "testsuite:", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(stderr, "testsuite:", err)
+		}
+	}()
 
 	fmt.Fprintln(stderr, "building test suite...")
 	suite, err := testsuite.Build(testsuite.Generate())

@@ -1,7 +1,6 @@
 package browser
 
 import (
-	"math/big"
 	"net/http"
 	"strings"
 	"testing"
@@ -545,7 +544,8 @@ func TestCacheAvoidsRefetches(t *testing.T) {
 	w := newWorld(t, ocspOnly)
 	chain, _ := w.leaf(false)
 	client := w.client(Hardened())
-	client.Cache = NewCache()
+	cache := NewCache()
+	client.Cache = cache
 
 	if v := mustEval(t, client, chain); v.Outcome != OutcomeAccept {
 		t.Fatalf("first evaluation = %v", v.Outcome)
@@ -554,7 +554,7 @@ func TestCacheAvoidsRefetches(t *testing.T) {
 	if first == 0 {
 		t.Fatal("no fetches on cold cache")
 	}
-	if _, ocsps := client.Cache.Len(); ocsps == 0 {
+	if _, ocsps := cache.Len(); ocsps == 0 {
 		t.Fatal("OCSP cache not populated")
 	}
 	if v := mustEval(t, client, chain); v.Outcome != OutcomeAccept {
@@ -588,10 +588,11 @@ func TestCacheAvoidsRefetches(t *testing.T) {
 	wc := newWorld(t, crlOnly)
 	chainCRL, _ := wc.leaf(false)
 	crlClient := wc.client(Hardened())
-	crlClient.Cache = NewCache()
+	crlCache := NewCache()
+	crlClient.Cache = crlCache
 	mustEval(t, crlClient, chainCRL)
 	crlFirst := wc.net.TotalStats().Requests
-	if crls, _ := crlClient.Cache.Len(); crls == 0 {
+	if crls, _ := crlCache.Len(); crls == 0 {
 		t.Fatal("CRL cache not populated")
 	}
 	mustEval(t, crlClient, chainCRL)
@@ -614,11 +615,11 @@ func TestNilCacheIsSafe(t *testing.T) {
 	if _, ok := c.CRL("x", time.Now()); ok {
 		t.Error("nil cache returned a CRL")
 	}
-	if _, ok := c.OCSP(ocsp.CertID{Serial: big.NewInt(1)}, time.Now()); ok {
+	if _, ok := c.OCSP(nil, nil, time.Now()); ok {
 		t.Error("nil cache returned a response")
 	}
 	c.PutCRL("x", &crl.CRL{})
-	c.PutOCSP(ocsp.CertID{Serial: big.NewInt(1)}, ocsp.SingleResponse{})
+	c.PutOCSP(nil, nil, ocsp.SingleResponse{})
 	if a, b := c.Len(); a != 0 || b != 0 {
 		t.Error("nil cache non-empty")
 	}

@@ -1,0 +1,177 @@
+package browser
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/crl"
+)
+
+func testCRL(next time.Time) *crl.CRL {
+	return &crl.CRL{
+		ThisUpdate: next.Add(-7 * 24 * time.Hour),
+		NextUpdate: next,
+	}
+}
+
+func TestCacheShardRounding(t *testing.T) {
+	cases := []struct{ want, shards int }{
+		{DefaultCacheShards, 0}, {1, 1}, {4, 3}, {8, 8}, {64, 33},
+	}
+	for _, tc := range cases {
+		c := NewCacheWithConfig(CacheConfig{Shards: tc.shards})
+		if got := c.NumShards(); got != tc.want {
+			t.Errorf("Shards=%d: NumShards = %d, want %d", tc.shards, got, tc.want)
+		}
+	}
+}
+
+func TestCacheExpiryIsMissNotDelete(t *testing.T) {
+	c := NewCache()
+	now := time.Date(2015, time.March, 1, 0, 0, 0, 0, time.UTC)
+	c.PutCRL("http://crl.test/1.crl", testCRL(now.Add(time.Hour)))
+
+	if _, ok := c.CRL("http://crl.test/1.crl", now); !ok {
+		t.Fatal("live entry missed")
+	}
+	// Past expiry the entry is a miss but stays resident for the sweeper.
+	late := now.Add(2 * time.Hour)
+	if _, ok := c.CRL("http://crl.test/1.crl", late); ok {
+		t.Fatal("expired entry served")
+	}
+	if crls, _ := c.Len(); crls != 1 {
+		t.Errorf("read path deleted the expired entry: len = %d", crls)
+	}
+	st := c.Stats()
+	if st.CRLHits != 1 || st.CRLMisses != 1 || st.Expired != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if got := c.Sweep(late); got != 1 {
+		t.Errorf("Sweep removed %d entries, want 1", got)
+	}
+	if crls, _ := c.Len(); crls != 0 {
+		t.Errorf("entries left after sweep: %d", crls)
+	}
+}
+
+func TestCacheCapEvictsSoonestToExpire(t *testing.T) {
+	// One shard so the cap applies to one deterministic population.
+	c := NewCacheWithConfig(CacheConfig{Shards: 1, MaxEntries: 3})
+	now := time.Date(2015, time.March, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 4; i++ {
+		url := fmt.Sprintf("http://crl.test/%d.crl", i)
+		c.PutCRL(url, testCRL(now.Add(time.Duration(i+1)*time.Hour)))
+	}
+	if crls, _ := c.Len(); crls != 3 {
+		t.Fatalf("cap not enforced: len = %d", crls)
+	}
+	// The entry expiring first (index 0) must be the one evicted.
+	if _, ok := c.CRL("http://crl.test/0.crl", now); ok {
+		t.Error("soonest-to-expire entry survived eviction")
+	}
+	for i := 1; i < 4; i++ {
+		if _, ok := c.CRL(fmt.Sprintf("http://crl.test/%d.crl", i), now); !ok {
+			t.Errorf("entry %d wrongly evicted", i)
+		}
+	}
+	if got := c.Stats().Evictions; got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+}
+
+func TestDoCRLSingleflight(t *testing.T) {
+	c := NewCache()
+	now := time.Date(2015, time.March, 1, 0, 0, 0, 0, time.UTC)
+	const clients = 32
+
+	var fetches int32
+	var mu sync.Mutex
+	gate := make(chan struct{})
+	fetch := func() (*crl.CRL, error) {
+		mu.Lock()
+		fetches++
+		mu.Unlock()
+		<-gate // hold the flight open until every client has arrived
+		return testCRL(now.Add(time.Hour)), nil
+	}
+
+	var started, done sync.WaitGroup
+	started.Add(clients)
+	done.Add(clients)
+	results := make([]CRLSource, clients)
+	for i := 0; i < clients; i++ {
+		go func(i int) {
+			started.Done()
+			parsed, src, err := c.DoCRL("http://crl.test/big.crl", now, fetch)
+			if err != nil || parsed == nil {
+				t.Errorf("client %d: %v", i, err)
+			}
+			results[i] = src
+			done.Done()
+		}(i)
+	}
+	started.Wait()
+	time.Sleep(10 * time.Millisecond) // let the stampede pile onto the flight
+	close(gate)
+	done.Wait()
+
+	if fetches != 1 {
+		t.Fatalf("%d clients caused %d fetches, want 1", clients, fetches)
+	}
+	var fetched int
+	for _, src := range results {
+		if src == SourceFetched {
+			fetched++
+		}
+	}
+	if fetched != 1 {
+		t.Errorf("%d clients report SourceFetched, want exactly 1", fetched)
+	}
+	st := c.Stats()
+	if st.CRLFetches != 1 {
+		t.Errorf("CRLFetches = %d, want 1", st.CRLFetches)
+	}
+	if st.DedupeJoins+st.CRLHits != clients-1 {
+		t.Errorf("joins(%d)+hits(%d) != %d", st.DedupeJoins, st.CRLHits, clients-1)
+	}
+
+	// A subsequent call is a plain cache hit, still one total fetch.
+	if _, src, err := c.DoCRL("http://crl.test/big.crl", now, fetch); err != nil || src != SourceCached {
+		t.Errorf("warm DoCRL = %v, %v", src, err)
+	}
+	if c.Stats().CRLFetches != 1 {
+		t.Error("warm DoCRL refetched")
+	}
+}
+
+func TestDoCRLErrorNotCached(t *testing.T) {
+	c := NewCache()
+	now := time.Date(2015, time.March, 1, 0, 0, 0, 0, time.UTC)
+	boom := errors.New("down")
+	calls := 0
+	fetch := func() (*crl.CRL, error) { calls++; return nil, boom }
+	if _, _, err := c.DoCRL("http://crl.test/x.crl", now, fetch); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// Failures must not negative-cache: the next caller retries.
+	if _, _, err := c.DoCRL("http://crl.test/x.crl", now, fetch); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 2 {
+		t.Errorf("fetch ran %d times, want 2 (no negative caching)", calls)
+	}
+}
+
+func TestNilStoreDoCRL(t *testing.T) {
+	var c *Cache
+	now := time.Now()
+	parsed, src, err := c.DoCRL("http://crl.test/x.crl", now, func() (*crl.CRL, error) {
+		return testCRL(now.Add(time.Hour)), nil
+	})
+	if err != nil || parsed == nil || src != SourceFetched {
+		t.Errorf("nil cache DoCRL = %v, %v, %v", parsed, src, err)
+	}
+}

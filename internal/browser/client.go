@@ -8,7 +8,9 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/bloom"
 	"repro/internal/crl"
+	"repro/internal/crlset"
 	"repro/internal/faultnet"
 	"repro/internal/ocsp"
 	"repro/internal/x509x"
@@ -54,13 +56,48 @@ func (s status) String() string {
 	return [...]string{"good", "revoked", "unknown", "unavailable"}[s]
 }
 
+// cachedResult returns the "(cached)" event string for s without
+// allocating — event logging sits on the warm verdict path.
+func cachedResult(s status) string {
+	return [...]string{"good (cached)", "revoked (cached)", "unknown (cached)", "unavailable (cached)"}[s]
+}
+
 // Event logs one revocation-checking action, for the harness to inspect
 // (e.g. to verify CRL fallback actually fetched the CRL).
 type Event struct {
 	Subject  string
 	Pos      Position
-	Protocol string // "ocsp", "crl", "staple"
+	Protocol string // "ocsp", "crl", "staple", "crlset", "bloom"
 	Result   string
+}
+
+// FastPathStats attributes local fast-path consultations within one
+// verdict (§7: CRLSet; §7.4: Bloom filter).
+type FastPathStats struct {
+	// CRLSetHits counts chain elements whose issuer the CRLSet covers —
+	// the set is authoritative there, revoked or not, and no fetch runs.
+	CRLSetHits int
+	// CRLSetMisses counts elements whose issuer the set does not cover
+	// (checking falls through to staples and the network).
+	CRLSetMisses int
+	// BloomNegatives counts definitive not-revoked answers from the
+	// filter (no false negatives, so the fetch is skipped).
+	BloomNegatives int
+	// BloomPositives counts possible-revocation answers that still
+	// required a network check (the filter's false-positive cost).
+	BloomPositives int
+	// BlockedSPKI counts chain elements rejected by the CRLSet's blocked
+	// key list.
+	BlockedSPKI int
+}
+
+// add accumulates other into s, for fleet-level aggregation.
+func (s *FastPathStats) Add(other FastPathStats) {
+	s.CRLSetHits += other.CRLSetHits
+	s.CRLSetMisses += other.CRLSetMisses
+	s.BloomNegatives += other.BloomNegatives
+	s.BloomPositives += other.BloomPositives
+	s.BlockedSPKI += other.BlockedSPKI
 }
 
 // Verdict is the full result of evaluating one chain.
@@ -68,10 +105,25 @@ type Verdict struct {
 	Outcome            Outcome
 	RevocationDetected bool
 	Events             []Event
+	// FastPath attributes CRLSet/Bloom consultations made during this
+	// evaluation.
+	FastPath FastPathStats
+}
+
+// reset prepares v for reuse, keeping the Events backing array so a
+// warm evaluation appends without allocating.
+func (v *Verdict) reset() {
+	v.Outcome = OutcomeAccept
+	v.RevocationDetected = false
+	v.Events = v.Events[:0]
+	v.FastPath = FastPathStats{}
 }
 
 // Client executes a Profile's revocation checking against presented
 // chains, performing real CRL downloads and OCSP queries through HTTP.
+// A Client is immutable during use and safe for concurrent Evaluate
+// calls from many goroutines; a fleet of simulated browsers can share
+// one Client, one Cache, and one HTTP transport.
 type Client struct {
 	Profile *Profile
 	// HTTP performs fetches (a simnet client or a real one).
@@ -82,8 +134,19 @@ type Client struct {
 	MaxCRLBytes int64
 	// Cache, when non-nil, reuses CRLs and OCSP responses across
 	// evaluations until their validity windows lapse, as real browsers
-	// do (§2.2).
-	Cache *Cache
+	// do (§2.2). A *Cache additionally collapses concurrent same-URL CRL
+	// downloads into one fetch (singleflight).
+	Cache Store
+	// CRLSet, when non-nil, is consulted as a Chrome-style local fast
+	// path before any staple or network fetch (§7): for issuers the set
+	// covers it answers revoked-or-not authoritatively without network
+	// traffic, and its blocked-SPKI list rejects outright.
+	CRLSet *crlset.Set
+	// Bloom, when non-nil, is the §7.4 revocation filter, keyed by
+	// BloomKey(parent, serial). A negative is definitive (no false
+	// negatives) and skips the fetch; a positive falls through to the
+	// usual online check.
+	Bloom *bloom.Filter
 	// Timeout bounds each revocation fetch, the way real browsers cap
 	// OCSP lookups at a few seconds before soft-failing (§6.2). It is
 	// applied as a context deadline and as a faultnet virtual-time
@@ -109,6 +172,14 @@ func (c *Client) now() time.Time {
 	return time.Now()
 }
 
+// BloomKey appends the revocation-filter key for (parent, serial) to dst:
+// the issuer's SPKI hash followed by the compact serial magnitude. Both
+// the filter builder and the client fast path must use this layout.
+func BloomKey(dst []byte, parent crlset.Parent, serial []byte) []byte {
+	dst = append(dst, parent[:]...)
+	return append(dst, serial...)
+}
+
 // Evaluate runs the profile against a chain ordered leaf-first and ending
 // at the root, with an optional stapled OCSP response for the leaf. The
 // chain must contain at least the leaf and its root. Evaluate assumes the
@@ -127,10 +198,22 @@ func (c *Client) Evaluate(chainCerts []*x509x.Certificate, staple []byte) (*Verd
 // Staples beyond the leaf are consulted only when the profile sets
 // MultiStaple.
 func (c *Client) EvaluateWithStaples(chainCerts []*x509x.Certificate, staples [][]byte) (*Verdict, error) {
-	if len(chainCerts) < 2 {
-		return nil, errors.New("browser: Evaluate needs a chain of at least leaf and root")
+	v := &Verdict{}
+	if err := c.EvaluateInto(v, chainCerts, staples); err != nil {
+		return nil, err
 	}
-	v := &Verdict{Outcome: OutcomeAccept}
+	return v, nil
+}
+
+// EvaluateInto is EvaluateWithStaples writing into a caller-owned
+// Verdict, which is reset (its Events capacity reused) before the
+// evaluation. A fleet of simulated browsers reuses one Verdict per
+// worker so a warm-cache verdict performs no allocations at all.
+func (c *Client) EvaluateInto(v *Verdict, chainCerts []*x509x.Certificate, staples [][]byte) error {
+	if len(chainCerts) < 2 {
+		return errors.New("browser: Evaluate needs a chain of at least leaf and root")
+	}
+	v.reset()
 	leafEV := chainCerts[0].IsEV()
 	crlTab, ocspTab, fallback := c.Profile.behaviors(leafEV)
 
@@ -145,6 +228,20 @@ func (c *Client) EvaluateWithStaples(chainCerts []*x509x.Certificate, staples []
 			behPos = PosInt1
 		}
 		behCRL, behOCSP := crlTab[behPos], ocspTab[behPos]
+
+		// Local fast path (§7): consult the CRLSet and Bloom artifacts
+		// before staples or any network fetch, the way Chrome checks its
+		// shipped CRLSet instead of querying responders.
+		if st, decided := c.localFastPath(v, cert, issuer, pos); decided {
+			switch st {
+			case stGood:
+				continue
+			case stRevoked:
+				v.RevocationDetected = true
+				v.Outcome = OutcomeReject
+				return nil
+			}
+		}
 
 		// Stapled response handling: the leaf always, deeper elements
 		// only with RFC 6961 multi-stapling.
@@ -162,14 +259,14 @@ func (c *Client) EvaluateWithStaples(chainCerts []*x509x.Certificate, staples []
 					if c.Profile.RespectRevokedStaple {
 						v.RevocationDetected = true
 						v.Outcome = OutcomeReject
-						return v, nil
+						return nil
 					}
 					// Chrome on OS X ignores the stapled revocation
 					// and falls through to an online check.
 				case stUnknown:
 					if c.Profile.RejectUnknown {
 						v.Outcome = OutcomeReject
-						return v, nil
+						return nil
 					}
 					continue // incorrectly treated as trusted
 				}
@@ -206,23 +303,71 @@ func (c *Client) EvaluateWithStaples(chainCerts []*x509x.Certificate, staples []
 		case stRevoked:
 			v.RevocationDetected = true
 			v.Outcome = OutcomeReject
-			return v, nil
+			return nil
 		case stUnknown:
 			if c.Profile.RejectUnknown {
 				v.Outcome = OutcomeReject
-				return v, nil
+				return nil
 			}
 		case stUnavailable:
 			switch {
 			case beh.RejectUnavailable:
 				v.Outcome = OutcomeReject
-				return v, nil
+				return nil
 			case beh.WarnUnavailable:
 				v.Outcome = OutcomeWarn
 			}
 		}
 	}
-	return v, nil
+	return nil
+}
+
+// localFastPath consults the client's CRLSet and Bloom artifacts for
+// (cert, issuer). decided is true when the artifacts answered the
+// revocation question and no staple or network check should run.
+func (c *Client) localFastPath(v *Verdict, cert, issuer *x509x.Certificate, pos Position) (status, bool) {
+	if c.CRLSet == nil && c.Bloom == nil {
+		return stUnavailable, false
+	}
+	var keyBuf [56]byte // 32-byte parent + serials up to 20 bytes (RFC 5280 §4.1.2.2)
+	parent := crlset.Parent(x509x.SPKIHash(issuer.RawSPKI))
+	serial := appendSerial(keyBuf[32:32], cert.SerialNumber)
+
+	if c.CRLSet != nil {
+		if len(c.CRLSet.BlockedSPKIs) > 0 {
+			spki := crlset.Parent(x509x.SPKIHash(cert.RawSPKI))
+			for _, blocked := range c.CRLSet.BlockedSPKIs {
+				if blocked == spki {
+					v.FastPath.BlockedSPKI++
+					c.log(v, cert, pos, "crlset", "blocked-spki")
+					return stRevoked, true
+				}
+			}
+		}
+		if c.CRLSet.HasParent(parent) {
+			v.FastPath.CRLSetHits++
+			if c.CRLSet.CoversSerial(parent, serial) {
+				c.log(v, cert, pos, "crlset", "revoked")
+				return stRevoked, true
+			}
+			c.log(v, cert, pos, "crlset", "good")
+			return stGood, true
+		}
+		v.FastPath.CRLSetMisses++
+	}
+
+	if c.Bloom != nil {
+		key := keyBuf[:32+len(serial)]
+		copy(key, parent[:])
+		if !c.Bloom.Contains(key) {
+			v.FastPath.BloomNegatives++
+			c.log(v, cert, pos, "bloom", "good")
+			return stGood, true
+		}
+		v.FastPath.BloomPositives++
+		// A positive may be false: fall through to the online check.
+	}
+	return stUnavailable, false
 }
 
 // position classifies index i in a leaf-first chain: the leaf, the first
@@ -283,11 +428,12 @@ func fromOCSPStatus(s ocsp.Status) status {
 }
 
 func (c *Client) fetchOCSP(v *Verdict, cert, issuer *x509x.Certificate, pos Position) status {
-	id := ocsp.NewCertID(issuer, cert.SerialNumber)
-	if sr, ok := c.Cache.OCSP(id, c.now()); ok {
-		st := fromOCSPStatus(sr.Status)
-		c.log(v, cert, pos, "ocsp", st.String()+" (cached)")
-		return st
+	if c.Cache != nil {
+		if sr, ok := c.Cache.OCSP(issuer, cert, c.now()); ok {
+			st := fromOCSPStatus(sr.Status)
+			c.log(v, cert, pos, "ocsp", cachedResult(st))
+			return st
+		}
 	}
 	client := &ocsp.Client{HTTP: c.HTTP}
 	var last status = stUnavailable
@@ -303,7 +449,9 @@ func (c *Client) fetchOCSP(v *Verdict, cert, issuer *x509x.Certificate, pos Posi
 			c.log(v, cert, pos, "ocsp", "stale")
 			continue
 		}
-		c.Cache.PutOCSP(id, sr)
+		if c.Cache != nil {
+			c.Cache.PutOCSP(issuer, cert, sr)
+		}
 		last = fromOCSPStatus(sr.Status)
 		c.log(v, cert, pos, "ocsp", last.String())
 		return last
@@ -311,37 +459,84 @@ func (c *Client) fetchOCSP(v *Verdict, cert, issuer *x509x.Certificate, pos Posi
 	return last
 }
 
+// CRL fetch failure classes, mapped to the event strings the harnesses
+// assert on.
+var (
+	errCRLUnavailable  = errors.New("browser: CRL unavailable")
+	errCRLBadSignature = errors.New("browser: CRL signature invalid")
+	errCRLStale        = errors.New("browser: CRL stale")
+)
+
+func crlErrorResult(err error) string {
+	switch {
+	case errors.Is(err, errCRLBadSignature):
+		return "bad-signature"
+	case errors.Is(err, errCRLStale):
+		return "stale"
+	default:
+		return "unavailable"
+	}
+}
+
 func (c *Client) fetchCRL(v *Verdict, cert, issuer *x509x.Certificate, pos Position) status {
+	now := c.now()
 	for _, url := range cert.CRLDistributionPoints {
-		cachedNote := ""
-		parsed, cached := c.Cache.CRL(url, c.now())
-		if !cached {
-			var err error
-			parsed, err = c.downloadCRL(url)
-			if err != nil {
-				c.log(v, cert, pos, "crl", "unavailable")
-				continue
-			}
-			if err := parsed.VerifySignature(issuer); err != nil {
-				c.log(v, cert, pos, "crl", "bad-signature")
-				continue
-			}
-			if !parsed.CurrentAt(c.now()) {
-				c.log(v, cert, pos, "crl", "stale")
-				continue
-			}
-			c.Cache.PutCRL(url, parsed)
+		parsed, src, err := c.obtainCRL(url, issuer, now)
+		if err != nil {
+			c.log(v, cert, pos, "crl", crlErrorResult(err))
+			continue
+		}
+		var serialBuf [24]byte
+		serial := appendSerial(serialBuf[:0], cert.SerialNumber)
+		revoked := parsed.ContainsSerial(serial)
+		st := stGood
+		if revoked {
+			st = stRevoked
+		}
+		if src == SourceFetched {
+			c.log(v, cert, pos, "crl", st.String())
 		} else {
-			cachedNote = " (cached)"
+			c.log(v, cert, pos, "crl", cachedResult(st))
 		}
-		if parsed.Contains(cert.SerialNumber) {
-			c.log(v, cert, pos, "crl", "revoked"+cachedNote)
-			return stRevoked
-		}
-		c.log(v, cert, pos, "crl", "good"+cachedNote)
-		return stGood
+		return st
 	}
 	return stUnavailable
+}
+
+// obtainCRL produces a verified, current CRL for url through whichever
+// cache the client carries: the sharded Cache deduplicates concurrent
+// downloads per URL (singleflight), other stores follow the seed
+// lookup/download/store sequence, and no cache means a plain download.
+func (c *Client) obtainCRL(url string, issuer *x509x.Certificate, now time.Time) (*crl.CRL, CRLSource, error) {
+	fetch := func() (*crl.CRL, error) {
+		parsed, err := c.downloadCRL(url)
+		if err != nil {
+			return nil, errCRLUnavailable
+		}
+		if err := parsed.VerifySignature(issuer); err != nil {
+			return nil, errCRLBadSignature
+		}
+		if !parsed.CurrentAt(now) {
+			return nil, errCRLStale
+		}
+		return parsed, nil
+	}
+	if sf, ok := c.Cache.(crlSingleflighter); ok {
+		return sf.DoCRL(url, now, fetch)
+	}
+	if c.Cache != nil {
+		if parsed, ok := c.Cache.CRL(url, now); ok {
+			return parsed, SourceCached, nil
+		}
+	}
+	parsed, err := fetch()
+	if err != nil {
+		return nil, SourceFetched, err
+	}
+	if c.Cache != nil {
+		c.Cache.PutCRL(url, parsed)
+	}
+	return parsed, SourceFetched, nil
 }
 
 func (c *Client) downloadCRL(url string) (*crl.CRL, error) {

@@ -1,0 +1,142 @@
+package browser
+
+import (
+	"testing"
+
+	"repro/internal/bloom"
+	"repro/internal/crl"
+	"repro/internal/crlset"
+	"repro/internal/x509x"
+)
+
+// coveredParents returns the CRLSet parents for every issuer in a
+// leaf-first chain (everything that signs a checked element).
+func coveredParents(chain []*x509x.Certificate) []crlset.Parent {
+	var ps []crlset.Parent
+	for i := 1; i < len(chain); i++ {
+		ps = append(ps, crlset.Parent(x509x.SPKIHash(chain[i].RawSPKI)))
+	}
+	return ps
+}
+
+func TestCRLSetFastPathAnswersWithoutNetwork(t *testing.T) {
+	w := newWorld(t, ocspOnly)
+	chain, rec := w.leaf(false)
+	if err := w.inter.Revoke(rec.Serial, w.clock.Now(), crl.ReasonKeyCompromise); err != nil {
+		t.Fatal(err)
+	}
+
+	set := crlset.NewSet(1)
+	for _, p := range coveredParents(chain) {
+		set.AddParent(p) // covered even with no revocations under it
+	}
+	set.Add(crlset.Parent(x509x.SPKIHash(chain[1].RawSPKI)), rec.Serial)
+
+	client := w.client(Hardened())
+	client.CRLSet = set
+
+	v := mustEval(t, client, chain)
+	if v.Outcome != OutcomeReject || !v.RevocationDetected {
+		t.Errorf("CRLSet-revoked leaf: %+v", v)
+	}
+	if got := w.net.TotalStats().Requests; got != 0 {
+		t.Errorf("fast path made %d network requests", got)
+	}
+	sawCRLSet := false
+	for _, e := range v.Events {
+		if e.Protocol == "crlset" && e.Result == "revoked" {
+			sawCRLSet = true
+		}
+	}
+	if !sawCRLSet {
+		t.Errorf("no crlset event logged: %+v", v.Events)
+	}
+
+	// A good leaf under a covered issuer is also answered locally.
+	good, _ := w.leaf(false)
+	v = mustEval(t, client, good)
+	if v.Outcome != OutcomeAccept {
+		t.Errorf("good leaf under covered parent: %+v", v)
+	}
+	if got := w.net.TotalStats().Requests; got != 0 {
+		t.Errorf("good fast path made %d network requests", got)
+	}
+	if v.FastPath.CRLSetHits == 0 {
+		t.Errorf("no CRLSet hits attributed: %+v", v.FastPath)
+	}
+}
+
+func TestCRLSetMissFallsThroughToNetwork(t *testing.T) {
+	w := newWorld(t, ocspOnly)
+	chain, _ := w.leaf(false)
+	client := w.client(Hardened())
+	client.CRLSet = crlset.NewSet(1) // covers nothing
+
+	v := mustEval(t, client, chain)
+	if v.Outcome != OutcomeAccept {
+		t.Errorf("verdict: %+v", v)
+	}
+	if w.net.TotalStats().Requests == 0 {
+		t.Error("uncovered issuer should have hit the network")
+	}
+	if v.FastPath.CRLSetMisses == 0 {
+		t.Errorf("no CRLSet misses attributed: %+v", v.FastPath)
+	}
+}
+
+func TestBlockedSPKIRejects(t *testing.T) {
+	w := newWorld(t, ocspOnly)
+	chain, _ := w.leaf(false)
+	set := crlset.NewSet(1)
+	set.BlockedSPKIs = append(set.BlockedSPKIs, crlset.Parent(x509x.SPKIHash(chain[0].RawSPKI)))
+	client := w.client(Hardened())
+	client.CRLSet = set
+
+	v := mustEval(t, client, chain)
+	if v.Outcome != OutcomeReject || !v.RevocationDetected {
+		t.Errorf("blocked SPKI not rejected: %+v", v)
+	}
+	if v.FastPath.BlockedSPKI != 1 {
+		t.Errorf("BlockedSPKI = %d", v.FastPath.BlockedSPKI)
+	}
+}
+
+func TestBloomFastPath(t *testing.T) {
+	w := newWorld(t, ocspOnly)
+	revokedChain, rec := w.leaf(false)
+	if err := w.inter.Revoke(rec.Serial, w.clock.Now(), crl.ReasonKeyCompromise); err != nil {
+		t.Fatal(err)
+	}
+	goodChain, _ := w.leaf(false)
+
+	// Filter holds the one revoked (parent, serial) key.
+	filter := bloom.NewOptimal(1024, 16)
+	parent := crlset.Parent(x509x.SPKIHash(revokedChain[1].RawSPKI))
+	filter.Add(BloomKey(nil, parent, rec.Serial.Bytes()))
+
+	client := w.client(Hardened())
+	client.Bloom = filter
+
+	// Good leaf: negative is definitive, no network fetch for the leaf.
+	v := mustEval(t, client, goodChain)
+	if v.Outcome != OutcomeAccept {
+		t.Errorf("good leaf: %+v", v)
+	}
+	if v.FastPath.BloomNegatives == 0 {
+		t.Errorf("no Bloom negatives attributed: %+v", v.FastPath)
+	}
+
+	// Revoked leaf: positive falls through to the online check, which
+	// must still find the revocation.
+	w.net.ResetStats()
+	v = mustEval(t, client, revokedChain)
+	if v.Outcome != OutcomeReject || !v.RevocationDetected {
+		t.Errorf("revoked leaf through Bloom positive: %+v", v)
+	}
+	if v.FastPath.BloomPositives == 0 {
+		t.Errorf("no Bloom positives attributed: %+v", v.FastPath)
+	}
+	if w.net.TotalStats().Requests == 0 {
+		t.Error("Bloom positive should have triggered a network check")
+	}
+}

@@ -143,13 +143,21 @@ func (c *CRL) VisitEntries(fn func(Entry) bool) {
 
 // Lookup returns the entry for serial, if present.
 func (c *CRL) Lookup(serial *big.Int) (Entry, bool) {
+	return c.LookupSerial(serial.Bytes())
+}
+
+// LookupSerial is Lookup keyed by the compact big-endian serial magnitude
+// (what Entry.Serial holds); it does not allocate once the index is
+// built, which is what keeps a warm browser-cache membership check off
+// the allocator entirely.
+func (c *CRL) LookupSerial(serial []byte) (Entry, bool) {
 	c.indexOnce.Do(func() {
 		c.bySerial = make(map[string]int, len(c.Entries))
 		for i, e := range c.Entries {
 			c.bySerial[string(e.Serial)] = i
 		}
 	})
-	i, ok := c.bySerial[string(serial.Bytes())]
+	i, ok := c.bySerial[string(serial)]
 	if !ok {
 		return Entry{}, false
 	}
@@ -159,6 +167,12 @@ func (c *CRL) Lookup(serial *big.Int) (Entry, bool) {
 // Contains reports whether serial is revoked by this CRL.
 func (c *CRL) Contains(serial *big.Int) bool {
 	_, ok := c.Lookup(serial)
+	return ok
+}
+
+// ContainsSerial is Contains keyed by the compact serial magnitude.
+func (c *CRL) ContainsSerial(serial []byte) bool {
+	_, ok := c.LookupSerial(serial)
 	return ok
 }
 

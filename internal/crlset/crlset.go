@@ -66,6 +66,19 @@ func (s *Set) AddSerial(p Parent, serial []byte) {
 	s.parents[p] = append(s.parents[p], key)
 }
 
+// AddParent marks p as covered by the set even when no serials are
+// revoked under it — real CRLSets carry many such empty parents (a CA
+// with an empty CRL is still authoritatively covered, so clients skip
+// the online check for its children). No-op when p is already present.
+func (s *Set) AddParent(p Parent) {
+	if _, known := s.lookup[p]; known {
+		return
+	}
+	s.lookup[p] = make(map[string]bool)
+	s.parents[p] = nil
+	s.order = append(s.order, p)
+}
+
 // Covers reports whether the set revokes (parent, serial).
 func (s *Set) Covers(p Parent, serial *big.Int) bool {
 	return s.lookup[p][string(serial.Bytes())]

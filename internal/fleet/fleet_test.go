@@ -1,0 +1,186 @@
+package fleet
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/browser"
+)
+
+func testWorld(t *testing.T, cfg Config) *World {
+	t.Helper()
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestDeterminismAcrossWorkers is the fleet analogue of
+// workload.TestParallelDeterminism: the aggregate digest must depend only
+// on (world, plan), never on scheduling.
+func TestDeterminismAcrossWorkers(t *testing.T) {
+	cfg := Config{Browsers: 24, Certs: 64, EvalsPerBrowser: 12, Seed: 7}
+	var want Result
+	for i, workers := range []int{1, 2, 4, 8} {
+		w := testWorld(t, cfg) // fresh world per run: identical by Seed
+		got, err := w.Run(RunOptions{Workers: workers, Store: browser.NewCache()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Verdicts != cfg.Browsers*cfg.EvalsPerBrowser {
+			t.Fatalf("workers=%d: %d verdicts, want %d", workers, got.Verdicts, cfg.Browsers*cfg.EvalsPerBrowser)
+		}
+		if i == 0 {
+			want = got
+			continue
+		}
+		if got.Digest != want.Digest {
+			t.Errorf("workers=%d: digest %x, want %x (1 worker)", workers, got.Digest, want.Digest)
+		}
+		if got.Accepts != want.Accepts || got.Rejects != want.Rejects ||
+			got.Warns != want.Warns || got.RevocationsDetected != want.RevocationsDetected {
+			t.Errorf("workers=%d: outcomes %+v diverge from %+v", workers, got, want)
+		}
+	}
+}
+
+// TestDeterminismSameWorld re-runs the same world with fresh equal caches
+// and different worker counts — the digest must also survive cache reuse
+// order differences.
+func TestDeterminismSameWorld(t *testing.T) {
+	w := testWorld(t, Config{Browsers: 16, Certs: 48, EvalsPerBrowser: 8, Seed: 3})
+	r1, err := w.Run(RunOptions{Workers: 1, Store: browser.NewCache()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := w.Run(RunOptions{Workers: 6, Store: browser.NewCache()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Digest != r2.Digest {
+		t.Errorf("digest diverges on shared world: %x vs %x", r1.Digest, r2.Digest)
+	}
+}
+
+// TestFleetSharedCacheRace exists for the -race build: many goroutines
+// hammer one Cache and one Client through concurrent Evaluate calls.
+func TestFleetSharedCacheRace(t *testing.T) {
+	w := testWorld(t, Config{Browsers: 32, Certs: 32, EvalsPerBrowser: 6, Seed: 5})
+	cache := browser.NewCacheWithConfig(browser.CacheConfig{Shards: 4, MaxEntries: 64})
+	if _, err := w.Run(RunOptions{Workers: 16, Store: cache}); err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent direct sharing outside the driver too: one client, one
+	// verdict per goroutine, overlapping chains.
+	client := &browser.Client{
+		Profile: browser.Hardened(),
+		HTTP:    w.Net.Client(),
+		Now:     w.Clock.Now,
+		Cache:   cache,
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var v browser.Verdict
+			for i := 0; i < 20; i++ {
+				chain := w.Chains[(g*3+i)%len(w.Chains)]
+				if err := client.EvaluateInto(&v, chain, nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if cache.Stats().Hits() == 0 {
+		t.Error("shared cache saw no hits under concurrency")
+	}
+}
+
+func TestWarmCacheStopsNetworkTraffic(t *testing.T) {
+	w := testWorld(t, Config{Browsers: 16, Certs: 32, EvalsPerBrowser: 8, Seed: 2})
+	store := browser.NewCache()
+	cold, err := w.Run(RunOptions{Workers: 2, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.NetRequests == 0 {
+		t.Fatal("cold run made no network requests")
+	}
+	warm, err := w.Run(RunOptions{Workers: 2, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.NetRequests != 0 {
+		t.Errorf("warm run still made %d network requests", warm.NetRequests)
+	}
+	if ratio := warm.Cache.HitRatio(); ratio < 0.95 {
+		t.Errorf("warm hit ratio = %.3f, want >= 0.95", ratio)
+	}
+	if cold.Digest != warm.Digest {
+		t.Errorf("cold/warm digests diverge: %x vs %x (outcomes must be cache-independent)", cold.Digest, warm.Digest)
+	}
+}
+
+func TestCRLSetFastPathNeedsNoNetwork(t *testing.T) {
+	w := testWorld(t, Config{Browsers: 12, Certs: 32, EvalsPerBrowser: 8, Seed: 4})
+	res, err := w.Run(RunOptions{Workers: 3, CRLSet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NetRequests != 0 {
+		t.Errorf("CRLSet fleet made %d network requests, want 0", res.NetRequests)
+	}
+	if res.FastPath.CRLSetHits != res.Verdicts {
+		t.Errorf("CRLSetHits = %d, want %d (every verdict local)", res.FastPath.CRLSetHits, res.Verdicts)
+	}
+	// The CRLSet must agree with the online protocols on every outcome.
+	online, err := w.Run(RunOptions{Workers: 3, Store: browser.NewCache()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejects != online.Rejects || res.RevocationsDetected != online.RevocationsDetected {
+		t.Errorf("CRLSet outcomes %+v disagree with online %+v", res, online)
+	}
+}
+
+func TestBloomFastPathSkipsGoodFetches(t *testing.T) {
+	w := testWorld(t, Config{Browsers: 12, Certs: 32, EvalsPerBrowser: 8, Seed: 6})
+	bloomRes, err := w.Run(RunOptions{Workers: 2, Store: browser.NewCache(), Bloom: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := w.Run(RunOptions{Workers: 2, Store: browser.NewCache()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bloomRes.FastPath.BloomNegatives == 0 {
+		t.Error("Bloom fleet recorded no negatives")
+	}
+	if bloomRes.NetRequests >= plain.NetRequests {
+		t.Errorf("Bloom fleet fetched %d >= plain %d", bloomRes.NetRequests, plain.NetRequests)
+	}
+	if bloomRes.Rejects != plain.Rejects || bloomRes.RevocationsDetected != plain.RevocationsDetected {
+		t.Errorf("Bloom outcomes %+v disagree with plain %+v", bloomRes, plain)
+	}
+}
+
+func TestStampedeCollapsesToOneFetch(t *testing.T) {
+	w := testWorld(t, Config{Browsers: 8, Certs: 16, EvalsPerBrowser: 4, Seed: 9})
+	res, err := w.Stampede(48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fetches != 1 {
+		t.Errorf("stampede caused %d CRL fetches, want 1", res.Fetches)
+	}
+	if res.Joins+res.Hits != int64(res.Clients-1) {
+		t.Errorf("joins(%d)+hits(%d) != clients-1 (%d)", res.Joins, res.Hits, res.Clients-1)
+	}
+	if res.NetRequests != 1 {
+		t.Errorf("fabric saw %d requests, want 1", res.NetRequests)
+	}
+}
