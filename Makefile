@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check vet build test race race-hot bench-smoke bench bench-all bench-crl bench-crl-check bench-fleet bench-fleet-check chaos fuzz-short
+.PHONY: check vet build test race race-hot bench-smoke bench bench-all bench-crl bench-crl-check bench-fleet bench-fleet-check bench-revdb bench-revdb-check chaos fuzz-short
 
 # check is the full pre-merge gate: static checks, race-enabled tests on
 # the concurrency-hot packages and then the whole tree, the chaos
 # differential harness on its fixed seeds, a short fuzz pass over the
 # DER-facing parsers, and a one-iteration smoke of the end-to-end
 # world-build benchmark.
-check: vet build race-hot race chaos fuzz-short bench-smoke bench-crl-check bench-fleet-check
+check: vet build race-hot race chaos fuzz-short bench-smoke bench-crl-check bench-fleet-check bench-revdb-check
 
 vet:
 	$(GO) vet ./...
@@ -23,9 +23,10 @@ race:
 
 # race-hot gives fast feedback on the packages where the serving-layer
 # and client-layer concurrency lives (pre-signed OCSP cache, batched
-# crawler pool, fault injector, sharded browser cache, fleet driver).
+# crawler pool, fault injector, sharded browser cache, fleet driver,
+# revocation store backends).
 race-hot:
-	$(GO) test -race ./internal/ocsp ./internal/crawler ./internal/faultnet/... ./internal/browser ./internal/fleet
+	$(GO) test -race ./internal/ocsp ./internal/crawler ./internal/faultnet/... ./internal/browser ./internal/fleet ./internal/revdb ./internal/revdb/segdb
 
 # chaos runs the seeded fault-injection differential harness: fixed seeds,
 # each played twice faulted and once clean, asserting determinism,
@@ -79,3 +80,16 @@ bench-fleet:
 # warm allocs/verdict regress against BENCH_pr5.json.
 bench-fleet-check:
 	$(GO) run ./cmd/fleetload -check BENCH_pr5.json -quick
+
+# bench-revdb regenerates BENCH_pr6.json: the revocation-store backend
+# record (mem-vs-disk ingest throughput, zero-alloc mmap lookups,
+# 1M-entry cold-start recovery, and the 10M-entry RSS budget run).
+bench-revdb:
+	$(GO) run ./cmd/benchrevdb -o BENCH_pr6.json
+
+# bench-revdb-check is the regression gate in `make check`: it re-runs
+# the quick store benchmarks (ingest ratio, zero-alloc warm lookup,
+# recovery digest) and validates the full-run numbers recorded in
+# BENCH_pr6.json, including the RSS budget split.
+bench-revdb-check:
+	$(GO) run ./cmd/benchrevdb -check BENCH_pr6.json -quick

@@ -23,6 +23,7 @@ import (
 	"testing"
 
 	"repro/internal/crlbench"
+	"repro/internal/profiling"
 )
 
 // preBaselines are the seed-tree measurements (Intel Xeon @ 2.10GHz,
@@ -158,40 +159,56 @@ func checkAgainst(recorded *File, current *File) error {
 	return firstErr
 }
 
-func main() {
+func main() { os.Exit(realMain()) }
+
+// realMain is main minus os.Exit, so deferred cleanup (profile flushing)
+// always runs.
+func realMain() int {
 	var (
-		out     = flag.String("o", "", "run full benchmarks and write the JSON record to this path")
-		check   = flag.String("check", "", "re-run benchmarks and fail if allocs/op regress vs this recorded file")
-		quick   = flag.Bool("quick", false, "use small fixtures (alloc counts stay comparable; ns/op does not)")
-		verbose = flag.Bool("v", false, "print the resulting JSON to stdout")
+		out        = flag.String("o", "", "run full benchmarks and write the JSON record to this path")
+		check      = flag.String("check", "", "re-run benchmarks and fail if allocs/op regress vs this recorded file")
+		quick      = flag.Bool("quick", false, "use small fixtures (alloc counts stay comparable; ns/op does not)")
+		verbose    = flag.Bool("v", false, "print the resulting JSON to stdout")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if (*out == "") == (*check == "") {
 		fmt.Fprintln(os.Stderr, "benchcrl: exactly one of -o or -check is required")
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcrl: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcrl: %v\n", err)
+		}
+	}()
 
 	result, err := run(*quick)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchcrl: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 
 	if *out != "" {
 		if *quick {
 			fmt.Fprintln(os.Stderr, "benchcrl: refusing to record quick-fixture numbers with -o")
-			os.Exit(2)
+			return 2
 		}
 		data, err := json.MarshalIndent(result, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchcrl: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		data = append(data, '\n')
 		if err := os.WriteFile(*out, data, 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "benchcrl: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if *verbose {
 			os.Stdout.Write(data)
@@ -199,25 +216,26 @@ func main() {
 		// A freshly recorded file must itself satisfy the gates.
 		if err := checkAgainst(result, result); err != nil {
 			fmt.Fprintf(os.Stderr, "benchcrl: recorded numbers fail the gate: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("wrote %s\n", *out)
-		return
+		return 0
 	}
 
 	data, err := os.ReadFile(*check)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchcrl: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	var recorded File
 	if err := json.Unmarshal(data, &recorded); err != nil {
 		fmt.Fprintf(os.Stderr, "benchcrl: %s: %v\n", *check, err)
-		os.Exit(1)
+		return 1
 	}
 	if err := checkAgainst(&recorded, result); err != nil {
 		fmt.Fprintf(os.Stderr, "benchcrl: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Println("benchcrl: no allocation regressions")
+	return 0
 }

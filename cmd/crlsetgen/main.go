@@ -22,6 +22,7 @@ import (
 	"repro/internal/bloom"
 	"repro/internal/crl"
 	"repro/internal/crlset"
+	"repro/internal/profiling"
 	"repro/internal/x509x"
 )
 
@@ -38,6 +39,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	outPath := fs.String("out", "", "write the CRLSet binary here (optional)")
 	maxBytes := fs.Int("maxbytes", crlset.MaxBytes, "CRLSet size cap")
 	maxEntries := fs.Int("maxentries", 10000, "drop CRLs with more entries")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
@@ -49,6 +52,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "crlsetgen:", err)
 		return 1
 	}
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return fatal(err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(stderr, "crlsetgen:", err)
+		}
+	}()
 
 	issuerPEM, err := os.ReadFile(*issuerPath)
 	if err != nil {

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/chain"
 	"repro/internal/core"
+	"repro/internal/profiling"
 	"repro/internal/x509x"
 )
 
@@ -34,6 +35,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	roots := fs.String("roots", "", "PEM file of trusted roots (optional; skips path validation when absent)")
 	timeout := fs.Duration("timeout", 10*time.Second, "TLS dial timeout")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the audit to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: revaudit [flags] host:port\n")
 		fs.PrintDefaults()
@@ -46,6 +49,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	addr := fs.Arg(0)
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(stderr, "revaudit:", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(stderr, "revaudit:", err)
+		}
+	}()
 
 	auditor := &core.Auditor{DialTimeout: *timeout}
 	if *roots != "" {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	revexp [-scale 0.01] [-seed 1] [-only fig2,table1]
+//	revexp [-scale 0.01] [-seed 1] [-only fig2,table1] [-store mem|disk]
 //
 // At the default 1/100 scale a full run takes a couple of minutes; use
 // -scale 0.002 for a quick pass.
@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/profiling"
+	"repro/internal/revdb/storeflag"
 	"repro/internal/workload"
 )
 
@@ -35,6 +36,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "simulation seed")
 	only := fs.String("only", "", "comma-separated experiment IDs (default: all)")
 	outdir := fs.String("outdir", "", "also write each experiment's rows as a tab-separated .dat file here")
+	store := fs.String("store", "mem", "revocation database backend: mem or disk")
+	storeDir := fs.String("storedir", "", "disk store directory (default: a fresh temp dir)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -54,12 +57,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg := workload.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.Seed = *seed
+	if cfg.OpenStore, err = storeflag.Factory(*store, *storeDir); err != nil {
+		fmt.Fprintln(stderr, "revexp:", err)
+		return 1
+	}
 	fmt.Fprintf(stderr, "building world at scale %g (seed %d)...\n", *scale, *seed)
 	runner, err := experiments.New(cfg)
 	if err != nil {
 		fmt.Fprintln(stderr, "revexp:", err)
 		return 1
 	}
+	defer runner.World.Close()
 	fmt.Fprintf(stderr, "world: %d certificates, %d hosts, %d CAs\n",
 		len(runner.World.Certs), len(runner.World.Hosts), len(runner.World.Authorities))
 

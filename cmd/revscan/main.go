@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	revscan [-scale 0.01] [-seed 1]
+//	revscan [-scale 0.01] [-seed 1] [-store mem|disk] [-storedir DIR]
 package main
 
 import (
@@ -14,6 +14,8 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/profiling"
+	"repro/internal/revdb/storeflag"
 	"repro/internal/workload"
 )
 
@@ -27,18 +29,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	scale := fs.Float64("scale", 0.01, "population scale relative to the real internet")
 	seed := fs.Int64("seed", 1, "simulation seed")
+	store := fs.String("store", "mem", "revocation database backend: mem or disk")
+	storeDir := fs.String("storedir", "", "disk store directory (default: a fresh temp dir)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(stderr, "revscan:", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(stderr, "revscan:", err)
+		}
+	}()
 
 	cfg := workload.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.Seed = *seed
+	if cfg.OpenStore, err = storeflag.Factory(*store, *storeDir); err != nil {
+		fmt.Fprintln(stderr, "revscan:", err)
+		return 1
+	}
 	world, err := workload.NewWorld(cfg)
 	if err != nil {
 		fmt.Fprintln(stderr, "revscan:", err)
 		return 1
 	}
+	defer world.Close()
 	fmt.Fprintf(stderr, "running %s..%s at scale %g\n",
 		cfg.Start.Format("2006-01-02"), cfg.End.Format("2006-01-02"), *scale)
 	if err := world.Run(); err != nil {

@@ -115,7 +115,7 @@ type World struct {
 	// Bloom holds BloomKey(parent, serial) for every revoked leaf.
 	Bloom *bloom.Filter
 
-	crlOnlyChain int     // index of a CRL-only leaf, for the stampede
+	crlOnlyChain int       // index of a CRL-only leaf, for the stampede
 	plans        [][]int32 // per-browser chain-index sequences
 }
 

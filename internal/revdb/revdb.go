@@ -197,7 +197,12 @@ func (db *DB) Size() int {
 }
 
 // Entries returns all revocations in first-seen order. The slice is a
-// copy; entries are shared.
+// copy the caller owns, but the *Entry values are the database's own,
+// live entries: a later IngestSnapshot mutates their LastSeen field in
+// place (and only that field — everything else is immutable after
+// creation). Reading the immutable fields is therefore safe concurrently
+// with ingests; reading LastSeen is not. Use LookupMeta for a detached
+// copy, and see the Store interface for the portable contract.
 func (db *DB) Entries() []*Entry {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -207,7 +212,9 @@ func (db *DB) Entries() []*Entry {
 	return out
 }
 
-// EntriesByURL returns this database's revocations grouped by CRL URL.
+// EntriesByURL returns this database's revocations grouped by CRL URL,
+// each group in first-seen order. The map and slices are the caller's;
+// the *Entry values are live and share Entries' concurrency contract.
 func (db *DB) EntriesByURL() map[string][]*Entry {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -224,6 +231,10 @@ func (db *DB) EntriesByURL() map[string][]*Entry {
 func (db *DB) DailyAdditions() map[time.Time]int {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	// FirstSeen is immutable, but flush anyway so every reader observes
+	// the same flush-consistent state — the Store contract makes
+	// flush-before-read uniform rather than per-field.
+	db.flushLocked()
 	out := make(map[time.Time]int)
 	for _, e := range db.order {
 		day := e.FirstSeen.Truncate(24 * time.Hour)

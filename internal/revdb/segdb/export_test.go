@@ -1,0 +1,33 @@
+package segdb
+
+// Test hooks: reach the WAL failpoint and fold internals without
+// exporting them.
+
+// SetCrashAfter arms the WAL failpoint: bytes past the given file offset
+// (header included) never reach disk, and the first write crossing it is
+// torn mid-record. Subsequent ingests into the store keep updating
+// memory but lose durability, exactly like a process killed mid-write.
+func (s *Store) SetCrashAfter(offset int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wal.crashAfter = offset
+}
+
+// WALFileBytes reports how many bytes the active WAL segment has
+// received, so tests can aim the failpoint at a mid-record offset.
+func (s *Store) WALFileBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wal.fileBytes
+}
+
+// SnapshotGen returns the generation of the loaded snapshot segment (0
+// when none).
+func (s *Store) SnapshotGen() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.snap == nil {
+		return 0
+	}
+	return s.snap.gen
+}

@@ -1,0 +1,80 @@
+package segdb
+
+// absenceFilter is a Bloom filter over the (urlID, serial) keys of one
+// snapshot segment. Ingest is its reason to exist: after the first fold,
+// nearly every serial a re-signed CRL appends is brand new, and without
+// the filter each one pays a sparse-index binary search plus a stride
+// scan of the mmap'd entries block just to learn it is absent. The filter
+// answers "definitely not in this snapshot" with a few multiplies and no
+// allocation, so only true hits (and ~2% false positives) reach find.
+//
+// It is rebuilt from data already in hand — during the fold's entry merge
+// and during the open-time visit that seeds lastSeen — so it costs no
+// extra decode pass and needs no on-disk representation. The heavier
+// internal/bloom package is not reused here: its SHA-256 hashing is fine
+// for §7.4's distribution payloads but far too slow for a per-entry
+// ingest hot path.
+type absenceFilter struct {
+	bits []uint64
+	mask uint64 // bit count minus one; bit count is a power of two
+}
+
+// filterProbes at ~10 bits/entry (8 rounded up to a power of two) keeps
+// the false-positive rate around 1-2%, where a false positive merely
+// costs one redundant find.
+const filterProbes = 4
+
+// newAbsenceFilter sizes a filter for n keys at ≥8 bits per key, rounded
+// up to a power-of-two bit count so probes mask instead of mod.
+func newAbsenceFilter(n int) *absenceFilter {
+	if n < 1 {
+		n = 1
+	}
+	bitCount := uint64(64)
+	for bitCount < uint64(n)*8 {
+		bitCount <<= 1
+	}
+	return &absenceFilter{bits: make([]uint64, bitCount/64), mask: bitCount - 1}
+}
+
+// filterHash derives the two Kirsch–Mitzenmacher base hashes for a key:
+// FNV-1a over the urlID and serial bytes, then a splitmix64 finalizer for
+// the independent second hash (forced odd so probe steps cycle).
+func filterHash(urlID uint32, serial []byte) (h1, h2 uint64) {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	h ^= uint64(urlID)
+	h *= prime64
+	for _, b := range serial {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	z := h + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return h, (z ^ (z >> 31)) | 1
+}
+
+func (f *absenceFilter) add(urlID uint32, serial []byte) {
+	h1, h2 := filterHash(urlID, serial)
+	for i := 0; i < filterProbes; i++ {
+		bit := (h1 + uint64(i)*h2) & f.mask
+		f.bits[bit/64] |= 1 << (bit % 64)
+	}
+}
+
+// mayContain reports whether the key could be in the snapshot; false is
+// definitive.
+func (f *absenceFilter) mayContain(urlID uint32, serial []byte) bool {
+	h1, h2 := filterHash(urlID, serial)
+	for i := 0; i < filterProbes; i++ {
+		bit := (h1 + uint64(i)*h2) & f.mask
+		if f.bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,25 @@
+//go:build !unix
+
+package segdb
+
+import (
+	"io"
+	"os"
+)
+
+// mmapFile falls back to reading the whole file on platforms without
+// syscall.Mmap. Reads behave identically; the zero-allocation warm-path
+// property holds per lookup, at the cost of resident heap instead of
+// reclaimable page cache.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size == 0 {
+		return nil, nil
+	}
+	buf := make([]byte, size)
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func munmapFile(b []byte) error { return nil }

@@ -1,0 +1,25 @@
+//go:build unix
+
+package segdb
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the file read-only. The returned slice stays valid until
+// munmapFile; on unix this is a true mapping, so warm lookups read the
+// page cache directly with zero copies and zero allocations.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size == 0 {
+		return nil, nil
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(b []byte) error {
+	if b == nil {
+		return nil
+	}
+	return syscall.Munmap(b)
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package segdb
+
+const raceEnabled = false

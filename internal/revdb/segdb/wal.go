@@ -1,0 +1,222 @@
+package segdb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// errInjectedCrash is returned by the test failpoint that severs the WAL
+// mid-record, emulating a process kill during ingest.
+var errInjectedCrash = errors.New("segdb: injected crash")
+
+// walWriter appends CRC-framed records to the active WAL segment. All
+// methods are called with the store's write lock held.
+type walWriter struct {
+	f       *os.File
+	bw      *bufio.Writer
+	scratch []byte
+	// fileBytes counts bytes handed to the file (header included), for
+	// rotation decisions and the crash failpoint.
+	fileBytes int64
+	// crashAfter, when >= 0, is the failpoint: the byte offset past
+	// which nothing reaches the file. The first write crossing it is
+	// truncated — a torn record, exactly what a kill mid-write leaves —
+	// and every later write is dropped.
+	crashAfter int64
+	dead       bool
+}
+
+func newWALWriter(path string) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w := &walWriter{f: f, bw: bufio.NewWriterSize(f, 1<<16), crashAfter: -1}
+	if _, err := w.bw.WriteString(walMagic); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.fileBytes = int64(len(walMagic))
+	return w, nil
+}
+
+// append frames and buffers one record: type byte, uvarint payload
+// length, payload, CRC32-C over everything before the checksum.
+func (w *walWriter) append(typ byte, payload []byte) error {
+	if w.dead {
+		return errInjectedCrash
+	}
+	if len(payload) > maxRecordBytes {
+		return fmt.Errorf("segdb: wal record of %d bytes exceeds limit", len(payload))
+	}
+	b := w.scratch[:0]
+	b = append(b, typ)
+	b = binary.AppendUvarint(b, uint64(len(payload)))
+	b = append(b, payload...)
+	sum := crc32.Checksum(b, castagnoli)
+	b = binary.LittleEndian.AppendUint32(b, sum)
+	w.scratch = b[:0]
+	return w.write(b)
+}
+
+// write pushes framed bytes toward the file, honoring the crash
+// failpoint at file granularity: buffered bytes are flushed so the
+// injected cut lands at a real file offset.
+func (w *walWriter) write(b []byte) error {
+	if w.crashAfter >= 0 && w.fileBytes+int64(len(b)) > w.crashAfter {
+		keep := w.crashAfter - w.fileBytes
+		if keep < 0 {
+			keep = 0
+		}
+		w.bw.Write(b[:keep])
+		w.bw.Flush()
+		w.fileBytes += keep
+		w.dead = true
+		return errInjectedCrash
+	}
+	if _, err := w.bw.Write(b); err != nil {
+		return err
+	}
+	w.fileBytes += int64(len(b))
+	return nil
+}
+
+// sync implements the group commit: flush the buffer and fsync, making
+// everything appended since the previous sync durable at once.
+func (w *walWriter) sync() error {
+	if w.dead {
+		return errInjectedCrash
+	}
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// seal flushes, fsyncs, and closes the segment; no further appends.
+func (w *walWriter) seal() error {
+	if w.dead {
+		w.f.Close()
+		return errInjectedCrash
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// walRecord is one decoded WAL record.
+type walRecord struct {
+	typ     byte
+	payload []byte
+}
+
+// salvageResult reports what reading one WAL segment found.
+type salvageResult struct {
+	// records is how many valid records were applied.
+	records int
+	// salvaged is true when the segment had a damaged tail (or was
+	// damaged entirely) and recovery kept the valid prefix.
+	salvaged bool
+	// quarantinedBytes is how much of the file was set aside.
+	quarantinedBytes int64
+	// zeroLength is true for an empty segment file (a crash immediately
+	// after rotation); nothing to salvage, nothing lost.
+	zeroLength bool
+}
+
+// readWALFile replays one WAL segment through apply. Damage — a short
+// header, a torn record, a CRC mismatch, a record apply refuses — stops
+// the replay at the last valid record: the damaged suffix is copied to
+// <name>.quarantine, the segment is truncated to the valid prefix, and
+// reading continues with the next segment. Nothing past the damage is
+// ever applied.
+func readWALFile(path string, apply func(rec walRecord) error) (salvageResult, error) {
+	var res salvageResult
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return res, err
+	}
+	if len(data) == 0 {
+		res.zeroLength = true
+		return res, nil
+	}
+	if len(data) < len(walMagic) || string(data[:len(walMagic)]) != walMagic {
+		// Not even a valid header: quarantine the whole file.
+		if err := quarantine(path, data, 0); err != nil {
+			return res, err
+		}
+		res.salvaged = true
+		res.quarantinedBytes = int64(len(data))
+		return res, nil
+	}
+	pos := len(walMagic)
+	for pos < len(data) {
+		recStart := pos
+		typ := data[pos]
+		plen, p, ok := uvarint(data, pos+1)
+		if !ok || plen > maxRecordBytes || p+int(plen)+4 > len(data) {
+			return salvageTail(path, data, recStart, res)
+		}
+		payload := data[p : p+int(plen)]
+		crcPos := p + int(plen)
+		want := binary.LittleEndian.Uint32(data[crcPos : crcPos+4])
+		if crc32.Checksum(data[recStart:crcPos], castagnoli) != want {
+			return salvageTail(path, data, recStart, res)
+		}
+		if err := apply(walRecord{typ: typ, payload: payload}); err != nil {
+			return salvageTail(path, data, recStart, res)
+		}
+		res.records++
+		pos = crcPos + 4
+	}
+	return res, nil
+}
+
+// salvageTail quarantines data[from:] and truncates the segment to the
+// valid prefix.
+func salvageTail(path string, data []byte, from int, res salvageResult) (salvageResult, error) {
+	if err := quarantine(path, data, from); err != nil {
+		return res, err
+	}
+	res.salvaged = true
+	res.quarantinedBytes = int64(len(data) - from)
+	return res, nil
+}
+
+// quarantine writes data[from:] to <path>.quarantine and truncates path
+// to from bytes, preserving the damaged bytes for post-mortem without
+// leaving them where a later open could misread them.
+func quarantine(path string, data []byte, from int) error {
+	qpath := path + ".quarantine"
+	if err := os.WriteFile(qpath, data[from:], 0o644); err != nil {
+		return err
+	}
+	if err := os.Truncate(path, int64(from)); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so renames and truncations are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	// Some filesystems refuse directory fsync; that is a durability
+	// hint lost, not a correctness failure.
+	_ = d.Sync()
+	return nil
+}

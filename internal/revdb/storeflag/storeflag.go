@@ -1,0 +1,43 @@
+// Package storeflag translates the scan commands' -store/-storedir
+// knobs into a workload store factory, so every command exposes the
+// same backend selection with the same semantics.
+package storeflag
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"repro/internal/revdb"
+	"repro/internal/revdb/segdb"
+)
+
+// Factory builds a Config.OpenStore factory for the chosen backend.
+//
+// backend "mem" (or empty) is the in-memory database. backend "disk" is
+// the segdb segment store rooted at dir; when dir is empty a temporary
+// directory is created (and left behind — the data is the point).
+// Experiment runners open several stores from one factory, so each call
+// claims its own numbered subdirectory under dir.
+func Factory(backend, dir string) (func() (revdb.Store, error), error) {
+	switch backend {
+	case "", "mem":
+		return func() (revdb.Store, error) { return revdb.New(), nil }, nil
+	case "disk":
+		if dir == "" {
+			d, err := os.MkdirTemp("", "revdb-seg-")
+			if err != nil {
+				return nil, err
+			}
+			dir = d
+		}
+		var n atomic.Int64
+		return func() (revdb.Store, error) {
+			sub := filepath.Join(dir, fmt.Sprintf("world-%03d", n.Add(1)))
+			return segdb.Open(sub, nil)
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown store backend %q (want mem or disk)", backend)
+	}
+}

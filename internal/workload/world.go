@@ -39,6 +39,12 @@ type Config struct {
 	// path. The built world is byte-for-byte identical at any setting:
 	// every random decision is drawn before work fans out.
 	Parallelism int
+	// OpenStore opens the revocation database backing World.RevDB. Nil
+	// means the in-memory revdb.New(). It is a factory, not an instance:
+	// experiment runners copy a Config to build several worlds, and each
+	// world needs its own store (for the disk backend, its own
+	// directory). Close the world to close the store.
+	OpenStore func() (revdb.Store, error)
 
 	// SteadyRevPerYear is the steady-state fraction of advertised fresh
 	// certificates revoked per year (the >1% pre-Heartbleed baseline).
@@ -230,9 +236,12 @@ type World struct {
 	// leaves, and 0.92% with no revocation mechanism at all).
 	Intermediates []*ca.Record
 
-	Corpus   *corpus.Corpus
-	Archive  *crawler.Archive
-	RevDB    *revdb.DB
+	Corpus  *corpus.Corpus
+	Archive *crawler.Archive
+	// RevDB is the revocation database, fed by the daily crawl. The
+	// backend is chosen by Config.OpenStore: in-memory by default, or
+	// the disk-backed segdb store for worlds too large for RAM.
+	RevDB    revdb.Store
 	Timeline *crlset.Timeline
 
 	rng *rand.Rand
@@ -256,17 +265,31 @@ type World struct {
 
 func dayKey(t time.Time) string { return t.Format("2006-01-02") }
 
+// Close releases the world's revocation store — a no-op for the
+// in-memory backend, a WAL seal plus unmap for the disk backend. The
+// world is not usable afterwards.
+func (w *World) Close() error { return w.RevDB.Close() }
+
 // NewWorld builds the initial ecosystem (CAs, backfilled certificate
 // population, hosts) without running the clock.
 func NewWorld(cfg Config) (*World, error) {
 	cfg.fillDefaults()
+	store := revdb.Store(nil)
+	if cfg.OpenStore != nil {
+		var err error
+		if store, err = cfg.OpenStore(); err != nil {
+			return nil, fmt.Errorf("open revocation store: %w", err)
+		}
+	} else {
+		store = revdb.New()
+	}
 	w := &World{
 		Cfg:      cfg,
 		Clock:    simtime.NewClock(cfg.Start),
 		Net:      simnet.New(),
 		Corpus:   corpus.New(),
 		Archive:  crawler.NewArchive(),
-		RevDB:    revdb.New(),
+		RevDB:    store,
 		Timeline: crlset.NewTimeline(),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		expiring: make(map[string][]*CertState),
