@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check vet build test race race-hot bench-smoke bench bench-all bench-crl bench-crl-check bench-fleet bench-fleet-check bench-revdb bench-revdb-check chaos fuzz-short
+.PHONY: check vet build test race race-hot bench-smoke bench bench-all bench-crl bench-crl-check bench-fleet bench-fleet-check bench-revdb bench-revdb-check bench-world bench-world-check chaos fuzz-short
 
 # check is the full pre-merge gate: static checks, race-enabled tests on
 # the concurrency-hot packages and then the whole tree, the chaos
 # differential harness on its fixed seeds, a short fuzz pass over the
 # DER-facing parsers, and a one-iteration smoke of the end-to-end
 # world-build benchmark.
-check: vet build race-hot race chaos fuzz-short bench-smoke bench-crl-check bench-fleet-check bench-revdb-check
+check: vet build race-hot race chaos fuzz-short bench-smoke bench-crl-check bench-fleet-check bench-revdb-check bench-world-check
 
 vet:
 	$(GO) vet ./...
@@ -26,7 +26,7 @@ race:
 # crawler pool, fault injector, sharded browser cache, fleet driver,
 # revocation store backends).
 race-hot:
-	$(GO) test -race ./internal/ocsp ./internal/crawler ./internal/faultnet/... ./internal/browser ./internal/fleet ./internal/revdb ./internal/revdb/segdb
+	$(GO) test -race ./internal/ocsp ./internal/crawler ./internal/faultnet/... ./internal/browser ./internal/fleet ./internal/revdb ./internal/revdb/segdb ./internal/corpus ./internal/workload
 
 # chaos runs the seeded fault-injection differential harness: fixed seeds,
 # each played twice faulted and once clean, asserting determinism,
@@ -93,3 +93,16 @@ bench-revdb:
 # BENCH_pr6.json, including the RSS budget split.
 bench-revdb-check:
 	$(GO) run ./cmd/benchrevdb -check BENCH_pr6.json -quick
+
+# bench-world regenerates BENCH_pr7.json: the world-engine record
+# (streaming-vs-in-memory analyze digest parity, 1M-cert build
+# throughput ratio, and the paper-scale 38.5M-cert RSS budget run).
+bench-world:
+	$(GO) run ./cmd/benchworld -o BENCH_pr7.json
+
+# bench-world-check is the regression gate in `make check`: it re-runs
+# the digest-parity and build-ratio phases on small fixtures and
+# validates the full-run numbers recorded in BENCH_pr7.json, including
+# the 38.5M RSS budget split.
+bench-world-check:
+	$(GO) run ./cmd/benchworld -check BENCH_pr7.json -quick

@@ -30,6 +30,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/profiling"
 	"repro/internal/revbench"
 	"repro/internal/revdb"
 	"repro/internal/revdb/segdb"
@@ -358,8 +359,10 @@ func realMain() int {
 		checkPath = flag.String("check", "", "re-run the quick gates and fail if they or the recorded numbers regress")
 		quick     = flag.Bool("quick", false, "small fixtures; skips the RSS phase (gates stay comparable)")
 		verbose   = flag.Bool("v", false, "print the resulting JSON to stdout")
-		rssw      = flag.String("rssworker", "", "internal: run as the RSS child process for this backend")
-		rssdir    = flag.String("rssdir", "", "internal: disk directory for the RSS child")
+		rssw       = flag.String("rssworker", "", "internal: run as the RSS child process for this backend")
+		rssdir     = flag.String("rssdir", "", "internal: disk directory for the RSS child")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *rssw != "" {
@@ -369,6 +372,16 @@ func realMain() int {
 		}
 		return 0
 	}
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrevdb:", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrevdb:", err)
+		}
+	}()
 	if (*out == "") == (*checkPath == "") {
 		fmt.Fprintln(os.Stderr, "benchrevdb: exactly one of -o or -check is required")
 		flag.Usage()

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	revexp [-scale 0.01] [-seed 1] [-only fig2,table1] [-store mem|disk]
+//	       [-world mem|disk]
 //
 // At the default 1/100 scale a full run takes a couple of minutes; use
 // -scale 0.002 for a quick pass.
@@ -38,6 +39,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	outdir := fs.String("outdir", "", "also write each experiment's rows as a tab-separated .dat file here")
 	store := fs.String("store", "mem", "revocation database backend: mem or disk")
 	storeDir := fs.String("storedir", "", "disk store directory (default: a fresh temp dir)")
+	worldBackend := fs.String("world", "mem", "corpus backend: mem keeps sighting runs resident, disk spills sealed scan segments")
+	worldDir := fs.String("worlddir", "", "corpus spill directory (default: a temp dir removed on exit)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -58,6 +61,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.Scale = *scale
 	cfg.Seed = *seed
 	if cfg.OpenStore, err = storeflag.Factory(*store, *storeDir); err != nil {
+		fmt.Fprintln(stderr, "revexp:", err)
+		return 1
+	}
+	if err := workload.ApplyWorldBackend(&cfg, *worldBackend, *worldDir); err != nil {
 		fmt.Fprintln(stderr, "revexp:", err)
 		return 1
 	}

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	revscan [-scale 0.01] [-seed 1] [-store mem|disk] [-storedir DIR]
+//	        [-world mem|disk] [-worlddir DIR]
 package main
 
 import (
@@ -31,6 +32,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "simulation seed")
 	store := fs.String("store", "mem", "revocation database backend: mem or disk")
 	storeDir := fs.String("storedir", "", "disk store directory (default: a fresh temp dir)")
+	worldBackend := fs.String("world", "mem", "corpus backend: mem keeps sighting runs resident, disk spills sealed scan segments")
+	worldDir := fs.String("worlddir", "", "corpus spill directory (default: a temp dir removed on exit)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -51,6 +54,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.Scale = *scale
 	cfg.Seed = *seed
 	if cfg.OpenStore, err = storeflag.Factory(*store, *storeDir); err != nil {
+		fmt.Fprintln(stderr, "revscan:", err)
+		return 1
+	}
+	if err := workload.ApplyWorldBackend(&cfg, *worldBackend, *worldDir); err != nil {
 		fmt.Fprintln(stderr, "revscan:", err)
 		return 1
 	}

@@ -131,11 +131,39 @@ type Record struct {
 	CRLURL     string // empty when HasCRLDP is false
 	OCSPURL    string // empty when HasOCSP is false
 	IssuedAt   time.Time
+
+	// serialMag caches Serial's big-endian magnitude (what crl.Entry
+	// carries and what the corpus interns), so per-sighting consumers
+	// never re-derive it. Set by IssueRecord; InternSerial fills it for
+	// records built by hand.
+	serialMag []byte
 }
 
 // FreshAt reports whether t is inside the record's validity window.
 func (r *Record) FreshAt(t time.Time) bool {
 	return !t.Before(r.NotBefore) && !t.After(r.NotAfter)
+}
+
+// InternSerial precomputes the cached serial magnitude. Call it once at
+// construction time for records not minted by IssueRecord; it is not
+// synchronized with concurrent readers.
+func (r *Record) InternSerial() {
+	if r.Serial != nil {
+		r.serialMag = r.Serial.Bytes()
+	}
+}
+
+// SerialMagnitude returns the serial's big-endian magnitude, using the
+// cached copy when present and computing a fresh one otherwise. Callers
+// must not mutate the returned slice.
+func (r *Record) SerialMagnitude() []byte {
+	if r.serialMag != nil {
+		return r.serialMag
+	}
+	if r.Serial == nil {
+		return nil
+	}
+	return r.Serial.Bytes()
 }
 
 // Revocation describes one revoked certificate.
@@ -379,6 +407,7 @@ func (ca *CA) issueRecordLocked(opts IssueOptions) *Record {
 	if rec.HasOCSP {
 		rec.OCSPURL = ca.cfg.OCSPBaseURL
 	}
+	rec.InternSerial()
 	ca.issued[serialKey(serial)] = rec
 	ca.issuedSeq = append(ca.issuedSeq, rec)
 	return rec

@@ -88,6 +88,30 @@ func TestIssueRecordBasics(t *testing.T) {
 	}
 }
 
+func TestSerialMagnitude(t *testing.T) {
+	authority, clock := newTestCA(t, nil)
+	rec := authority.IssueRecord(issueOpts(clock, "x"))
+	// IssueRecord pre-caches the magnitude; it must match the big.Int.
+	if got, want := rec.SerialMagnitude(), rec.Serial.Bytes(); string(got) != string(want) {
+		t.Errorf("cached magnitude %x, want %x", got, want)
+	}
+	// Hand-built records work with and without InternSerial.
+	hand := &Record{Serial: big.NewInt(0x1234)}
+	if got := hand.SerialMagnitude(); string(got) != "\x12\x34" {
+		t.Errorf("uncached magnitude = %x", got)
+	}
+	hand.InternSerial()
+	if got := hand.SerialMagnitude(); string(got) != "\x12\x34" {
+		t.Errorf("interned magnitude = %x", got)
+	}
+	// Records with no serial at all (corpus test fixtures) must not panic.
+	empty := &Record{}
+	empty.InternSerial()
+	if got := empty.SerialMagnitude(); len(got) != 0 {
+		t.Errorf("nil-serial magnitude = %x", got)
+	}
+}
+
 func TestSerialLengthPolicy(t *testing.T) {
 	authority, clock := newTestCA(t, func(c *Config) { c.SerialBytes = 21 })
 	rec := authority.IssueRecord(issueOpts(clock, "x"))

@@ -10,9 +10,20 @@
 // Both timelines deliberately ignore revocation — clients that skip
 // revocation checks will accept a revoked-but-fresh certificate, which is
 // exactly the exposure Figure 2 quantifies.
+//
+// Corpus is the streaming engine: certificates get dense uint32 IDs at
+// first sighting, per-certificate attributes live in struct-of-arrays
+// columns (columns.go), and sighting histories are delta-encoded per-scan
+// runs sealed into segments that spill to disk once a byte budget is
+// exceeded (segment.go). Consumers walk it through the Visit/IterAlive/
+// VisitHistories cursors. Legacy (legacy.go) is the original pointer-keyed
+// in-memory engine, kept as the differential oracle and bench baseline.
 package corpus
 
 import (
+	"errors"
+	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -30,20 +41,42 @@ type Sighting struct {
 }
 
 // History is the observed lifetime of one certificate.
+//
+// Invariant: a History handed out by a Corpus or Legacy always has at
+// least one Sighting — a certificate enters the corpus only by being
+// observed. Histories built by hand may be empty; the timeline methods
+// treat an empty history as never observed (zero Birth/Death, alive at
+// no instant) instead of panicking.
 type History struct {
 	Record    *ca.Record
 	Sightings []Sighting
 }
 
-// Birth returns the first scan at which the certificate was seen.
-func (h *History) Birth() time.Time { return h.Sightings[0].Scan }
+// Birth returns the first scan at which the certificate was seen, or the
+// zero time if it was never observed.
+func (h *History) Birth() time.Time {
+	if len(h.Sightings) == 0 {
+		return time.Time{}
+	}
+	return h.Sightings[0].Scan
+}
 
-// Death returns the last scan at which the certificate was seen.
-func (h *History) Death() time.Time { return h.Sightings[len(h.Sightings)-1].Scan }
+// Death returns the last scan at which the certificate was seen, or the
+// zero time if it was never observed.
+func (h *History) Death() time.Time {
+	if len(h.Sightings) == 0 {
+		return time.Time{}
+	}
+	return h.Sightings[len(h.Sightings)-1].Scan
+}
 
 // AliveAt reports whether t falls inside [Birth, Death]. A certificate
-// missed by one scan but seen again later is still alive in between.
+// missed by one scan but seen again later is still alive in between. A
+// never-observed certificate is alive at no instant.
 func (h *History) AliveAt(t time.Time) bool {
+	if len(h.Sightings) == 0 {
+		return false
+	}
 	return !t.Before(h.Birth()) && !t.After(h.Death())
 }
 
@@ -53,20 +86,10 @@ func (h *History) FreshAt(t time.Time) bool { return h.Record.FreshAt(t) }
 // AdvertisedAfterExpiry reports whether the certificate was still being
 // served after NotAfter — the "atypical certificate" of Figure 1.
 func (h *History) AdvertisedAfterExpiry() bool {
+	if len(h.Sightings) == 0 {
+		return false
+	}
 	return h.Death().After(h.Record.NotAfter)
-}
-
-// Corpus accumulates scan results.
-type Corpus struct {
-	mu        sync.Mutex
-	histories map[*ca.Record]*History
-	order     []*History
-	scans     []time.Time
-}
-
-// New returns an empty corpus.
-func New() *Corpus {
-	return &Corpus{histories: make(map[*ca.Record]*History)}
 }
 
 // Advertisement is one certificate's appearance in a single scan.
@@ -76,37 +99,189 @@ type Advertisement struct {
 	StapledHosts int
 }
 
+// Config tunes the streaming corpus.
+type Config struct {
+	// SpillBudget caps the bytes of encoded sighting runs kept resident.
+	// Once exceeded, sealed segments spill to Dir and are read back via
+	// mmap. Zero means never spill (fully in-memory runs).
+	SpillBudget int64
+	// Dir receives spilled segments. Empty with a non-zero SpillBudget
+	// means a temporary directory is created at first spill and removed
+	// on Close.
+	Dir string
+}
+
+// Corpus accumulates scan results in the columnar streaming layout.
+type Corpus struct {
+	mu   sync.RWMutex
+	cfg  Config
+	cols *columns
+	idx  certIndex
+	// caSyms interns CA names (uint16 column), urlSyms CRL/OCSP URLs.
+	caSyms  symtab
+	urlSyms symtab
+
+	scans     []time.Time
+	scansNano []int64
+
+	segs      []*segment
+	resident  int64 // encoded run bytes currently heap-resident
+	spilled   int64 // encoded run bytes on disk
+	sightings int64
+	tmpDir    string // created lazily when cfg.Dir is empty
+	spillErr  error
+
+	// mapMu serializes lazy segment mapping, which mutates segment state
+	// under the read lock.
+	mapMu sync.Mutex
+
+	triBuf []sightRec
+}
+
+// New returns an empty corpus that never spills.
+func New() *Corpus { c, _ := NewWithConfig(Config{}); return c }
+
+// NewWithConfig returns an empty corpus with the given spill policy.
+func NewWithConfig(cfg Config) (*Corpus, error) {
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("corpus: create spill dir: %w", err)
+		}
+	}
+	return &Corpus{cfg: cfg, cols: newColumns()}, nil
+}
+
 // RecordScan ingests one full scan. Scans must be ingested in
-// chronological order.
+// chronological order. Each certificate should appear at most once per
+// scan (the scanner aggregates hosts before calling).
 func (c *Corpus) RecordScan(at time.Time, ads []Advertisement) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if n := len(c.scans); n > 0 && at.Before(c.scans[n-1]) {
 		panic("corpus: scans must be ingested in order")
 	}
+	scanIdx := uint32(len(c.scans))
 	c.scans = append(c.scans, at)
-	for _, ad := range ads {
-		h := c.histories[ad.Record]
-		if h == nil {
-			h = &History{Record: ad.Record}
-			c.histories[ad.Record] = h
-			c.order = append(c.order, h)
-		}
-		h.Sightings = append(h.Sightings, Sighting{Scan: at, Hosts: ad.Hosts, StapledHosts: ad.StapledHosts})
+	c.scansNano = append(c.scansNano, at.UnixNano())
+
+	tri := c.triBuf[:0]
+	for i := range ads {
+		ad := &ads[i]
+		id := c.internLocked(ad.Record, scanIdx)
+		c.cols.death[id] = scanIdx
+		c.cols.nSight[id]++
+		c.cols.lastHosts[id] = uint32(ad.Hosts)
+		c.cols.lastStap[id] = uint32(ad.StapledHosts)
+		tri = append(tri, sightRec{id: id, hosts: uint32(ad.Hosts), stapled: uint32(ad.StapledHosts)})
 	}
+	c.triBuf = tri[:0]
+	if !sightRecsSorted(tri) {
+		sort.Slice(tri, func(i, j int) bool { return tri[i].id < tri[j].id })
+	}
+	data := encodeSegment(nil, tri)
+	c.segs = append(c.segs, &segment{scanIdx: int(scanIdx), count: len(tri), data: data})
+	c.resident += int64(len(data))
+	c.sightings += int64(len(tri))
+	if c.cfg.SpillBudget > 0 && c.resident > c.cfg.SpillBudget {
+		c.spillLocked()
+	}
+}
+
+// sightRecsSorted reports whether recs are already in ID order — the
+// common case, since IDs are assigned in first-seen order and scanners
+// walk hosts deterministically.
+func sightRecsSorted(recs []sightRec) bool {
+	for i := 1; i < len(recs); i++ {
+		if recs[i].id < recs[i-1].id {
+			return false
+		}
+	}
+	return true
+}
+
+// internLocked returns the ID for rec, assigning the next dense ID on
+// first sighting.
+func (c *Corpus) internLocked(rec *ca.Record, scanIdx uint32) uint32 {
+	mag := rec.SerialMagnitude()
+	if sym, ok := c.caSyms.find(rec.CAName); ok {
+		if id, ok := c.idx.lookup(c.cols, uint16(sym), mag); ok {
+			return id
+		}
+	}
+	sym := c.caSyms.intern(rec.CAName)
+	if sym > 0xffff {
+		panic("corpus: more than 65536 distinct CA names")
+	}
+	crlSym := c.urlSyms.intern(rec.CRLURL)
+	ocspSym := c.urlSyms.intern(rec.OCSPURL)
+	id := c.cols.add(rec, uint16(sym), crlSym, ocspSym, scanIdx)
+	c.idx.insert(c.cols, id)
+	return id
+}
+
+// spillLocked seals resident segments to disk oldest-first until the
+// resident run bytes drop back under budget. Spill failures are sticky:
+// the corpus keeps working in memory and Close reports the first error.
+func (c *Corpus) spillLocked() {
+	if c.spillErr != nil {
+		return
+	}
+	dir := c.cfg.Dir
+	if dir == "" {
+		if c.tmpDir == "" {
+			d, err := os.MkdirTemp("", "corpus-spill-")
+			if err != nil {
+				c.spillErr = fmt.Errorf("corpus: create spill dir: %w", err)
+				return
+			}
+			c.tmpDir = d
+		}
+		dir = c.tmpDir
+	}
+	for _, s := range c.segs {
+		if c.resident <= c.cfg.SpillBudget {
+			return
+		}
+		if s.data == nil {
+			continue
+		}
+		n := int64(len(s.data))
+		if err := s.spill(dir); err != nil {
+			c.spillErr = err
+			return
+		}
+		c.resident -= n
+		c.spilled += n
+	}
+}
+
+// Close unmaps spilled segments, removes any temporary spill directory,
+// and reports the first spill error, if any.
+func (c *Corpus) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range c.segs {
+		s.close()
+	}
+	var err error
+	if c.tmpDir != "" {
+		err = os.RemoveAll(c.tmpDir)
+		c.tmpDir = ""
+	}
+	return errors.Join(c.spillErr, err)
 }
 
 // NumScans returns how many scans have been ingested.
 func (c *Corpus) NumScans() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return len(c.scans)
 }
 
 // Scans returns the ingested scan times.
 func (c *Corpus) Scans() []time.Time {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]time.Time, len(c.scans))
 	copy(out, c.scans)
 	return out
@@ -114,26 +289,69 @@ func (c *Corpus) Scans() []time.Time {
 
 // Size returns the number of distinct certificates ever observed.
 func (c *Corpus) Size() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.order)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.cols.n()
 }
 
-// Histories returns every certificate history in first-seen order.
-func (c *Corpus) Histories() []*History {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]*History, len(c.order))
-	copy(out, c.order)
-	return out
+// IDOf returns the dense ID assigned to rec, if observed. IDs are
+// assigned contiguously from 0 in first-seen order.
+func (c *Corpus) IDOf(rec *ca.Record) (uint32, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.idOfLocked(rec)
 }
 
-// History returns the history for rec, if observed.
+func (c *Corpus) idOfLocked(rec *ca.Record) (uint32, bool) {
+	sym, ok := c.caSyms.find(rec.CAName)
+	if !ok {
+		return 0, false
+	}
+	return c.idx.lookup(c.cols, uint16(sym), rec.SerialMagnitude())
+}
+
+// History materializes the sighting history for rec, if observed. It
+// decodes every segment and is intended for tests and spot lookups, not
+// bulk walks — use VisitHistories for those.
 func (c *Corpus) History(rec *ca.Record) (*History, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	h, ok := c.histories[rec]
-	return h, ok
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	id, ok := c.idOfLocked(rec)
+	if !ok {
+		return nil, false
+	}
+	h := &History{Record: rec}
+	for _, s := range c.segs {
+		payload, err := c.segPayload(s)
+		if err != nil {
+			panic(err)
+		}
+		cur := segCursor{data: payload, left: s.count, scanIdx: s.scanIdx}
+		for cur.next() {
+			if cur.id == id {
+				h.Sightings = append(h.Sightings, Sighting{
+					Scan:         c.scans[s.scanIdx],
+					Hosts:        int(cur.hosts),
+					StapledHosts: int(cur.stapled),
+				})
+				break
+			}
+			if cur.id > id {
+				break
+			}
+		}
+	}
+	return h, true
+}
+
+// segPayload fetches a segment's encoded run, serializing lazy mapping.
+func (c *Corpus) segPayload(s *segment) ([]byte, error) {
+	if s.data != nil {
+		return s.data, nil
+	}
+	c.mapMu.Lock()
+	defer c.mapMu.Unlock()
+	return s.payload()
 }
 
 // Population is a snapshot count at one instant.
@@ -146,21 +364,23 @@ type Population struct {
 
 // PopulationAt counts fresh and alive certificates at t.
 func (c *Corpus) PopulationAt(t time.Time) Population {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	tn := t.UnixNano()
 	var p Population
-	for _, h := range c.order {
-		fresh := h.Record.FreshAt(t)
-		alive := h.AliveAt(t)
+	for id := 0; id < c.cols.n(); id++ {
+		fresh := c.cols.notBefore[id] <= tn && tn <= c.cols.notAfter[id]
+		alive := c.scansNano[c.cols.birth[id]] <= tn && tn <= c.scansNano[c.cols.death[id]]
+		ev := c.cols.flags[id]&flagEV != 0
 		if fresh {
 			p.Fresh++
-			if h.Record.EV {
+			if ev {
 				p.FreshEV++
 			}
 		}
 		if alive {
 			p.Alive++
-			if h.Record.EV {
+			if ev {
 				p.AliveEV++
 			}
 		}
@@ -168,47 +388,50 @@ func (c *Corpus) PopulationAt(t time.Time) Population {
 	return p
 }
 
-// AdvertisedAt returns the histories of certificates alive at t.
-func (c *Corpus) AdvertisedAt(t time.Time) []*History {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var out []*History
-	for _, h := range c.order {
-		if h.AliveAt(t) {
-			out = append(out, h)
-		}
-	}
-	return out
-}
-
-// LastScanAdvertisements returns the sightings belonging to the most
-// recent scan — "still being advertised in the latest port 443 scan"
-// (§3.1).
-func (c *Corpus) LastScanAdvertisements() []*History {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if len(c.scans) == 0 {
-		return nil
-	}
-	last := c.scans[len(c.scans)-1]
-	var out []*History
-	for _, h := range c.order {
-		if h.Death().Equal(last) {
-			out = append(out, h)
-		}
-	}
-	return out
-}
-
 // Lifetimes returns, for each certificate, the advertised lifetime in
 // days, sorted ascending — input for lifetime CDFs.
 func (c *Corpus) Lifetimes() []float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]float64, 0, len(c.order))
-	for _, h := range c.order {
-		out = append(out, h.Death().Sub(h.Birth()).Hours()/24)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]float64, 0, c.cols.n())
+	for id := 0; id < c.cols.n(); id++ {
+		birth := c.scans[c.cols.birth[id]]
+		death := c.scans[c.cols.death[id]]
+		out = append(out, death.Sub(birth).Hours()/24)
 	}
 	sort.Float64s(out)
 	return out
+}
+
+// Stats reports the corpus's resident and spilled footprint.
+type Stats struct {
+	Certs            int
+	Scans            int
+	Sightings        int64
+	ColumnBytes      int64
+	ResidentRunBytes int64
+	SpilledRunBytes  int64
+	Segments         int
+	SpilledSegments  int
+}
+
+// Stats returns a snapshot of the corpus's size and spill state.
+func (c *Corpus) Stats() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	st := Stats{
+		Certs:            c.cols.n(),
+		Scans:            len(c.scans),
+		Sightings:        c.sightings,
+		ColumnBytes:      c.cols.sizeBytes(),
+		ResidentRunBytes: c.resident,
+		SpilledRunBytes:  c.spilled,
+		Segments:         len(c.segs),
+	}
+	for _, s := range c.segs {
+		if s.path != "" {
+			st.SpilledSegments++
+		}
+	}
+	return st
 }

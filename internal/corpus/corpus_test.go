@@ -42,6 +42,9 @@ func TestLifetimesAndTimelines(t *testing.T) {
 	if !h1.Birth().Equal(day(0)) || !h1.Death().Equal(day(21)) {
 		t.Errorf("h1 lifetime [%v, %v]", h1.Birth(), h1.Death())
 	}
+	if len(h1.Sightings) != 4 || h1.Sightings[0].Hosts != 3 || h1.Sightings[3].Hosts != 1 {
+		t.Errorf("h1 sightings = %+v", h1.Sightings)
+	}
 	h2, _ := c.History(r2)
 	if !h2.Death().Equal(day(14)) {
 		t.Errorf("h2 death %v", h2.Death())
@@ -62,6 +65,70 @@ func TestLifetimesAndTimelines(t *testing.T) {
 	}
 }
 
+// TestEmptyHistoryGuards pins the documented invariant: a hand-built
+// History with no Sightings is "never observed" — zero Birth/Death,
+// alive at no instant, not advertised after expiry — rather than an
+// index-out-of-range panic.
+func TestEmptyHistoryGuards(t *testing.T) {
+	h := &History{Record: rec(1, day(0), day(10), false)}
+	if !h.Birth().IsZero() || !h.Death().IsZero() {
+		t.Errorf("empty history birth/death = %v/%v", h.Birth(), h.Death())
+	}
+	if h.AliveAt(day(0)) {
+		t.Error("empty history should be alive at no instant")
+	}
+	if h.AdvertisedAfterExpiry() {
+		t.Error("empty history cannot be advertised after expiry")
+	}
+}
+
+func TestCursorTimelines(t *testing.T) {
+	c := New()
+	r1 := rec(1, day(0), day(100), false)
+	r2 := rec(2, day(0), day(10), false)
+	c.RecordScan(day(0), []Advertisement{{Record: r1, Hosts: 3}, {Record: r2, Hosts: 1}})
+	c.RecordScan(day(7), []Advertisement{{Record: r1, Hosts: 2}})
+	c.RecordScan(day(14), []Advertisement{{Record: r1, Hosts: 2, StapledHosts: 1}, {Record: r2, Hosts: 1}})
+
+	var saw int
+	c.Visit(func(ct *Cert) bool {
+		saw++
+		switch ct.ID() {
+		case 0:
+			if !ct.Birth().Equal(day(0)) || !ct.Death().Equal(day(14)) || ct.Sightings() != 3 {
+				t.Errorf("r1 cursor birth=%v death=%v n=%d", ct.Birth(), ct.Death(), ct.Sightings())
+			}
+			if ct.LastHosts() != 2 || ct.LastStapledHosts() != 1 {
+				t.Errorf("r1 last sighting %d/%d", ct.LastHosts(), ct.LastStapledHosts())
+			}
+			if ct.AdvertisedAfterExpiry() {
+				t.Error("r1 is within validity")
+			}
+		case 1:
+			// Gap at day 7: still alive between sightings.
+			if !ct.AliveAt(day(7)) || ct.AliveAt(day(21)) {
+				t.Error("r2 cursor alive window wrong")
+			}
+			if !ct.AdvertisedAfterExpiry() {
+				t.Error("r2 should be advertised after expiry")
+			}
+			if ct.CAName() != "T" || len(ct.Serial()) == 0 {
+				t.Errorf("r2 identity %q/%x", ct.CAName(), ct.Serial())
+			}
+		}
+		return true
+	})
+	if saw != 2 {
+		t.Fatalf("visited %d certs", saw)
+	}
+
+	alive := 0
+	c.IterAlive(day(10), func(ct *Cert) bool { alive++; return true })
+	if alive != 2 {
+		t.Errorf("alive at day 10 = %d", alive)
+	}
+}
+
 func TestPopulationAt(t *testing.T) {
 	c := New()
 	dv := rec(1, day(0), day(30), false)
@@ -78,26 +145,6 @@ func TestPopulationAt(t *testing.T) {
 	p = c.PopulationAt(day(7))
 	if p.Alive != 2 {
 		t.Errorf("alive at day 7 = %d", p.Alive)
-	}
-}
-
-func TestAdvertisedAtAndLastScan(t *testing.T) {
-	c := New()
-	r1 := rec(1, day(0), day(100), false)
-	r2 := rec(2, day(0), day(100), false)
-	c.RecordScan(day(0), []Advertisement{{Record: r1, Hosts: 1}, {Record: r2, Hosts: 1}})
-	c.RecordScan(day(7), []Advertisement{{Record: r1, Hosts: 1}})
-
-	if got := len(c.AdvertisedAt(day(0))); got != 2 {
-		t.Errorf("advertised at first scan = %d", got)
-	}
-	// r2's alive window is the single instant day(0); only r1 spans day 3.
-	if got := len(c.AdvertisedAt(day(3))); got != 1 {
-		t.Errorf("advertised mid-window = %d", got)
-	}
-	last := c.LastScanAdvertisements()
-	if len(last) != 1 || last[0].Record != r1 {
-		t.Errorf("last scan certs = %d", len(last))
 	}
 }
 
@@ -125,13 +172,84 @@ func TestOutOfOrderScansPanic(t *testing.T) {
 
 func TestEmptyCorpus(t *testing.T) {
 	c := New()
-	if c.LastScanAdvertisements() != nil {
-		t.Error("empty corpus should have no last-scan ads")
-	}
 	if p := c.PopulationAt(day(0)); p.Fresh != 0 || p.Alive != 0 {
 		t.Errorf("empty population = %+v", p)
 	}
-	if len(c.Scans()) != 0 || len(c.Histories()) != 0 {
+	if len(c.Scans()) != 0 || c.Size() != 0 {
 		t.Error("empty corpus accessors")
+	}
+	if err := c.VisitHistories(func(*Cert, []Sighting) bool { t.Error("unexpected cert"); return false }); err != nil {
+		t.Errorf("VisitHistories: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+func TestLegacyAccessors(t *testing.T) {
+	c := NewLegacy()
+	r1 := rec(1, day(0), day(100), false)
+	r2 := rec(2, day(0), day(100), false)
+	c.RecordScan(day(0), []Advertisement{{Record: r1, Hosts: 1}, {Record: r2, Hosts: 1}})
+	c.RecordScan(day(7), []Advertisement{{Record: r1, Hosts: 1}})
+
+	if got := len(c.AdvertisedAt(day(0))); got != 2 {
+		t.Errorf("advertised at first scan = %d", got)
+	}
+	// r2's alive window is the single instant day(0); only r1 spans day 3.
+	if got := len(c.AdvertisedAt(day(3))); got != 1 {
+		t.Errorf("advertised mid-window = %d", got)
+	}
+	last := c.LastScanAdvertisements()
+	if len(last) != 1 || last[0].Record != r1 {
+		t.Errorf("last scan certs = %d", len(last))
+	}
+	if c.NumScans() != 2 || c.Size() != 2 || len(c.Histories()) != 2 {
+		t.Error("legacy accessors")
+	}
+}
+
+// TestSpillRoundTrip forces every segment to disk and checks the
+// read-back path (mmap, CRC, delta decode) reproduces the histories.
+func TestSpillRoundTrip(t *testing.T) {
+	c, err := NewWithConfig(Config{SpillBudget: 1, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	r1 := rec(1, day(0), day(100), false)
+	r2 := rec(2, day(0), day(100), false)
+	c.RecordScan(day(0), []Advertisement{{Record: r1, Hosts: 3}, {Record: r2, Hosts: 5}})
+	c.RecordScan(day(7), []Advertisement{{Record: r2, Hosts: 4, StapledHosts: 2}})
+
+	st := c.Stats()
+	if st.SpilledSegments == 0 || st.SpilledRunBytes == 0 {
+		t.Fatalf("expected spill, stats = %+v", st)
+	}
+
+	var got []Sighting
+	var ids []uint32
+	if err := c.VisitHistories(func(ct *Cert, s []Sighting) bool {
+		ids = append(ids, ct.ID())
+		if ct.ID() == 1 {
+			got = append(got, s...)
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != 0 || ids[1] != 1 {
+		t.Fatalf("ids = %v", ids)
+	}
+	want := []Sighting{
+		{Scan: day(0), Hosts: 5},
+		{Scan: day(7), Hosts: 4, StapledHosts: 2},
+	}
+	if len(got) != 2 || !got[0].Scan.Equal(want[0].Scan) || got[0].Hosts != 5 ||
+		!got[1].Scan.Equal(want[1].Scan) || got[1].Hosts != 4 || got[1].StapledHosts != 2 {
+		t.Fatalf("r2 sightings = %+v", got)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
 	}
 }

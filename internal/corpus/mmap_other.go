@@ -1,0 +1,13 @@
+//go:build !unix
+
+package corpus
+
+import "os"
+
+// mapFile falls back to reading the whole segment on platforms without
+// mmap support; correctness is identical, only residency differs.
+func mapFile(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+func unmapFile([]byte) {}

@@ -1,0 +1,32 @@
+//go:build unix
+
+package corpus
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps a sealed segment read-only so cold analyze passes stream
+// sighting runs off the page cache instead of heap-resident copies.
+func mapFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if fi.Size() == 0 {
+		return nil, nil
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(fi.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func unmapFile(b []byte) {
+	if len(b) > 0 {
+		_ = syscall.Munmap(b)
+	}
+}

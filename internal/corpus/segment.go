@@ -1,0 +1,215 @@
+package corpus
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Sealed segment file framing (one file per spilled scan):
+//
+//	magic "CSEG1\n" | u32 scanIdx | u32 count | u32 payloadLen | u32 crc32(payload) | payload
+//
+// The payload is the same delta-varint stream kept resident for
+// unspilled segments: per sighting, uvarint(idDelta) uvarint(hosts)
+// uvarint(stapled), with idDelta relative to the previous sighting in
+// the segment (the first is the absolute ID). Sightings within a
+// segment are sorted by ID, so deltas are non-negative and small.
+const segMagic = "CSEG1\n"
+
+const segHeaderSize = len(segMagic) + 4 + 4 + 4 + 4
+
+// sightRec is the in-flight representation of one sighting while a scan
+// is being encoded.
+type sightRec struct {
+	id      uint32
+	hosts   uint32
+	stapled uint32
+}
+
+// encodeSegment appends the delta-varint encoding of recs (sorted by
+// id) to buf and returns the extended slice.
+func encodeSegment(buf []byte, recs []sightRec) []byte {
+	prev := uint32(0)
+	for i, r := range recs {
+		d := r.id
+		if i > 0 {
+			d = r.id - prev
+		}
+		prev = r.id
+		buf = binary.AppendUvarint(buf, uint64(d))
+		buf = binary.AppendUvarint(buf, uint64(r.hosts))
+		buf = binary.AppendUvarint(buf, uint64(r.stapled))
+	}
+	return buf
+}
+
+// segment holds one scan's sealed sighting run: resident in data until
+// spilled, then read back through a lazily established read-only mmap.
+type segment struct {
+	scanIdx int
+	count   int
+	data    []byte // resident payload; nil once spilled
+	path    string // non-empty once spilled
+	mapping []byte // whole-file mmap, established on first post-spill read
+	plen    int
+}
+
+// spill writes the segment to dir and releases the resident payload.
+func (s *segment) spill(dir string) error {
+	path := filepath.Join(dir, fmt.Sprintf("scan-%05d.seg", s.scanIdx))
+	buf := make([]byte, segHeaderSize+len(s.data))
+	copy(buf, segMagic)
+	off := len(segMagic)
+	binary.LittleEndian.PutUint32(buf[off:], uint32(s.scanIdx))
+	binary.LittleEndian.PutUint32(buf[off+4:], uint32(s.count))
+	binary.LittleEndian.PutUint32(buf[off+8:], uint32(len(s.data)))
+	binary.LittleEndian.PutUint32(buf[off+12:], crc32.ChecksumIEEE(s.data))
+	copy(buf[segHeaderSize:], s.data)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	s.path = path
+	s.plen = len(s.data)
+	s.data = nil
+	return nil
+}
+
+// payload returns the encoded sighting run, mapping the spilled file on
+// first use. Callers serialize mapping through Corpus.mapMu.
+func (s *segment) payload() ([]byte, error) {
+	if s.data != nil {
+		return s.data, nil
+	}
+	if s.mapping == nil {
+		m, err := mapFile(s.path)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: map segment %s: %w", s.path, err)
+		}
+		if err := s.validate(m); err != nil {
+			unmapFile(m)
+			return nil, err
+		}
+		s.mapping = m
+	}
+	return s.mapping[segHeaderSize : segHeaderSize+s.plen], nil
+}
+
+func (s *segment) validate(m []byte) error {
+	if len(m) < segHeaderSize || string(m[:len(segMagic)]) != segMagic {
+		return fmt.Errorf("corpus: segment %s: bad magic", s.path)
+	}
+	off := len(segMagic)
+	if int(binary.LittleEndian.Uint32(m[off:])) != s.scanIdx {
+		return fmt.Errorf("corpus: segment %s: scan index mismatch", s.path)
+	}
+	plen := int(binary.LittleEndian.Uint32(m[off+8:]))
+	if len(m) < segHeaderSize+plen {
+		return fmt.Errorf("corpus: segment %s: truncated payload", s.path)
+	}
+	sum := binary.LittleEndian.Uint32(m[off+12:])
+	if crc32.ChecksumIEEE(m[segHeaderSize:segHeaderSize+plen]) != sum {
+		return fmt.Errorf("corpus: segment %s: payload checksum mismatch", s.path)
+	}
+	s.plen = plen
+	return nil
+}
+
+func (s *segment) close() {
+	if s.mapping != nil {
+		unmapFile(s.mapping)
+		s.mapping = nil
+	}
+}
+
+// segCursor streams one segment's sightings in ID order.
+type segCursor struct {
+	data    []byte
+	pos     int
+	left    int
+	scanIdx int
+	started bool
+
+	id      uint32
+	hosts   uint32
+	stapled uint32
+}
+
+func (sc *segCursor) next() bool {
+	if sc.left == 0 {
+		return false
+	}
+	d, n := binary.Uvarint(sc.data[sc.pos:])
+	sc.pos += n
+	h, n := binary.Uvarint(sc.data[sc.pos:])
+	sc.pos += n
+	st, n := binary.Uvarint(sc.data[sc.pos:])
+	sc.pos += n
+	if !sc.started {
+		sc.id = uint32(d)
+		sc.started = true
+	} else {
+		sc.id += uint32(d)
+	}
+	sc.hosts = uint32(h)
+	sc.stapled = uint32(st)
+	sc.left--
+	return true
+}
+
+type cursorHeap []*segCursor
+
+// mergeCursors is a binary min-heap of segment cursors ordered by
+// (id, scanIdx); popping yields every sighting of cert 0, then cert 1,
+// and so on, with each cert's sightings in scan order.
+func (h cursorHeap) less(i, j int) bool {
+	if h[i].id != h[j].id {
+		return h[i].id < h[j].id
+	}
+	return h[i].scanIdx < h[j].scanIdx
+}
+
+func (h cursorHeap) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h) && h.less(l, min) {
+			min = l
+		}
+		if r < len(h) && h.less(r, min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
+func (h cursorHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+// advance moves the top cursor forward, dropping it when exhausted, and
+// restores the heap invariant. Returns the shrunk heap.
+func (h cursorHeap) advance() cursorHeap {
+	if h[0].next() {
+		h.siftDown(0)
+		return h
+	}
+	h[0] = h[len(h)-1]
+	h = h[:len(h)-1]
+	if len(h) > 0 {
+		h.siftDown(0)
+	}
+	return h
+}

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/corpus"
 	"repro/internal/crlset"
 	"repro/internal/simtime"
 	"repro/internal/stats"
@@ -136,26 +137,25 @@ func (r *Runner) Figure1() *Result {
 		Header: []string{"archetype", "not_before", "not_after", "birth", "death", "revoked_at"},
 	}
 	idx := make(map[string]bool)
-	histories := r.World.Corpus.Histories()
-	certOf := r.certStates()
-	for _, h := range histories {
-		cs := certOf[h.Record]
+	states := r.World.CertStatesByCorpusID()
+	r.World.Corpus.Visit(func(ct *corpus.Cert) bool {
+		cs := states[ct.ID()]
 		if cs == nil {
-			continue
+			return true
 		}
 		var kind string
 		switch {
-		case !cs.Revoked && !h.AdvertisedAfterExpiry():
+		case !cs.Revoked && !ct.AdvertisedAfterExpiry():
 			kind = "typical"
-		case cs.Revoked && h.Death().Before(h.Record.NotAfter) && h.Death().After(cs.RevokedAt.Add(-14*24*time.Hour)):
+		case cs.Revoked && ct.Death().Before(ct.NotAfter()) && ct.Death().After(cs.RevokedAt.Add(-14*24*time.Hour)):
 			kind = "revoked"
-		case cs.Revoked && h.AdvertisedAfterExpiry():
+		case cs.Revoked && ct.AdvertisedAfterExpiry():
 			kind = "atypical"
 		default:
-			continue
+			return true
 		}
 		if idx[kind] {
-			continue
+			return true
 		}
 		idx[kind] = true
 		revoked := "-"
@@ -163,13 +163,11 @@ func (r *Runner) Figure1() *Result {
 			revoked = fdate(cs.RevokedAt)
 		}
 		res.Rows = append(res.Rows, []string{
-			kind, fdate(h.Record.NotBefore), fdate(h.Record.NotAfter),
-			fdate(h.Birth()), fdate(h.Death()), revoked,
+			kind, fdate(ct.NotBefore()), fdate(ct.NotAfter()),
+			fdate(ct.Birth()), fdate(ct.Death()), revoked,
 		})
-		if len(idx) == 3 {
-			break
-		}
-	}
+		return len(idx) < 3
+	})
 	res.Findings = append(res.Findings, Finding{
 		Metric:   "archetypes observed",
 		Paper:    "typical, revoked, atypical all occur",
@@ -455,14 +453,6 @@ func (r *Runner) Table1() (*Result, error) {
 		},
 	}
 	return res, nil
-}
-
-func (r *Runner) certStates() map[*caRecord]*workload.CertState {
-	idx := make(map[*caRecord]*workload.CertState, len(r.World.Certs))
-	for _, cs := range r.World.Certs {
-		idx[cs.Rec] = cs
-	}
-	return idx
 }
 
 func ratio(a, b int) float64 {

@@ -1,9 +1,10 @@
 package workload
 
 import (
+	"sort"
 	"time"
 
-	"repro/internal/ca"
+	"repro/internal/corpus"
 	"repro/internal/crawler"
 	"repro/internal/crlset"
 	"repro/internal/ocsp"
@@ -21,58 +22,97 @@ type RevokedFractions struct {
 	AliveEV  []float64
 }
 
-// certIndex maps issuance records back to simulation state.
-func (w *World) certIndex() map[*ca.Record]*CertState {
-	idx := make(map[*ca.Record]*CertState, len(w.Certs))
+// CertStatesByCorpusID maps dense corpus IDs back to simulation state:
+// slot i holds the CertState whose record got corpus ID i, nil when the
+// observed certificate has no simulation state.
+func (w *World) CertStatesByCorpusID() []*CertState {
+	out := make([]*CertState, w.Corpus.Size())
 	for _, cs := range w.Certs {
-		idx[cs.Rec] = cs
+		if id, ok := w.Corpus.IDOf(cs.Rec); ok {
+			out[id] = cs
+		}
 	}
-	return idx
+	return out
 }
+
+// Diff-array slots for RevokedFractionSeries' single-pass fold.
+const (
+	dFresh = iota
+	dFreshRev
+	dFreshEV
+	dFreshEVRev
+	dAlive
+	dAliveRev
+	dAliveEV
+	dAliveEVRev
+	dCount
+)
 
 // RevokedFractionSeries evaluates the Figure 2 fractions at every scan in
 // the corpus. The population is the observed Leaf Set — certificates seen
-// in at least one scan — exactly as the paper defines it (§3.3).
+// in at least one scan — exactly as the paper defines it (§3.3). Rather
+// than re-walking every certificate per scan, a single streaming pass
+// turns each certificate's fresh/alive/revoked scan ranges into diff-array
+// increments; prefix sums then yield the exact per-scan integer counts the
+// nested loop used to produce.
 func (w *World) RevokedFractionSeries() RevokedFractions {
-	idx := w.certIndex()
-	histories := w.Corpus.Histories()
 	out := RevokedFractions{}
-	for _, t := range w.Corpus.Scans() {
-		var fresh, freshRev, freshEV, freshEVRev int
-		var alive, aliveRev, aliveEV, aliveEVRev int
-		for _, h := range histories {
-			cs := idx[h.Record]
-			revoked := cs != nil && cs.Revoked && !cs.RevokedAt.After(t)
-			if h.Record.FreshAt(t) {
-				fresh++
-				if revoked {
-					freshRev++
-				}
-				if h.Record.EV {
-					freshEV++
-					if revoked {
-						freshEVRev++
-					}
-				}
-			}
-			if h.AliveAt(t) {
-				alive++
-				if revoked {
-					aliveRev++
-				}
-				if h.Record.EV {
-					aliveEV++
-					if revoked {
-						aliveEVRev++
-					}
-				}
-			}
+	scans := w.Corpus.Scans()
+	n := len(scans)
+	if n == 0 {
+		return out
+	}
+	nanos := make([]int64, n)
+	for i, t := range scans {
+		nanos[i] = t.UnixNano()
+	}
+	states := w.CertStatesByCorpusID()
+	diff := make([][]int, dCount)
+	for i := range diff {
+		diff[i] = make([]int, n+1)
+	}
+	add := func(d, lo, hi int) {
+		if lo <= hi {
+			diff[d][lo]++
+			diff[d][hi+1]--
 		}
-		out.Times = append(out.Times, t)
-		out.FreshAll = append(out.FreshAll, frac(freshRev, fresh))
-		out.FreshEV = append(out.FreshEV, frac(freshEVRev, freshEV))
-		out.AliveAll = append(out.AliveAll, frac(aliveRev, alive))
-		out.AliveEV = append(out.AliveEV, frac(aliveEVRev, aliveEV))
+	}
+	w.Corpus.Visit(func(ct *corpus.Cert) bool {
+		nb, na := ct.NotBefore().UnixNano(), ct.NotAfter().UnixNano()
+		// Scan-index windows: fresh is [first scan >= NotBefore, last
+		// scan <= NotAfter]; alive is [birth, death]; revoked-by holds
+		// from the first scan >= RevokedAt onward.
+		freshLo := sort.Search(n, func(i int) bool { return nanos[i] >= nb })
+		freshHi := sort.Search(n, func(i int) bool { return nanos[i] > na }) - 1
+		birth, death := ct.BirthScan(), ct.DeathScan()
+		revLo := n
+		if cs := states[ct.ID()]; cs != nil && cs.Revoked {
+			ra := cs.RevokedAt.UnixNano()
+			revLo = sort.Search(n, func(i int) bool { return nanos[i] >= ra })
+		}
+		ev := ct.EV()
+		add(dFresh, freshLo, freshHi)
+		add(dFreshRev, max(freshLo, revLo), freshHi)
+		add(dAlive, birth, death)
+		add(dAliveRev, max(birth, revLo), death)
+		if ev {
+			add(dFreshEV, freshLo, freshHi)
+			add(dFreshEVRev, max(freshLo, revLo), freshHi)
+			add(dAliveEV, birth, death)
+			add(dAliveEVRev, max(birth, revLo), death)
+		}
+		return true
+	})
+	run := make([]int, dCount)
+	for i := 0; i < n; i++ {
+		for d := 0; d < dCount; d++ {
+			run[d] += diff[d][i]
+		}
+		out.Times = append(out.Times, scans[i])
+		out.FreshAll = append(out.FreshAll, frac(run[dFreshRev], run[dFresh]))
+		out.FreshEV = append(out.FreshEV, frac(run[dFreshEVRev], run[dFreshEV]))
+		out.AliveAll = append(out.AliveAll, frac(run[dAliveRev], run[dAlive]))
+		out.AliveEV = append(out.AliveEV, frac(run[dAliveEVRev], run[dAliveEV]))
 	}
 	return out
 }
@@ -251,33 +291,44 @@ type StaplingStats struct {
 	EVAll           int
 }
 
-// StaplingDeployment aggregates the last scan's staple observations.
+// StaplingDeployment aggregates the last scan's staple observations in
+// one pass over the columns: a certificate belongs to the latest scan
+// exactly when its death index is the final scan, and the final
+// sighting's host counts are kept as columns, so no history
+// materialization is needed.
 func (w *World) StaplingDeployment() StaplingStats {
 	var st StaplingStats
-	for _, h := range w.Corpus.LastScanAdvertisements() {
-		s := h.Sightings[len(h.Sightings)-1]
-		if !h.Record.FreshAt(s.Scan) {
-			continue // §4.3 counts fresh certificates
+	scans := w.Corpus.Scans()
+	if len(scans) == 0 {
+		return st
+	}
+	lastIdx := len(scans) - 1
+	last := scans[lastIdx]
+	w.Corpus.Visit(func(ct *corpus.Cert) bool {
+		if ct.DeathScan() != lastIdx || !ct.FreshAt(last) {
+			return true // §4.3 counts fresh certificates in the latest scan
 		}
-		st.Servers += s.Hosts
-		st.ServersStapling += s.StapledHosts
+		hosts, stapled := ct.LastHosts(), ct.LastStapledHosts()
+		st.Servers += hosts
+		st.ServersStapling += stapled
 		st.Certs++
-		if s.StapledHosts > 0 {
+		if stapled > 0 {
 			st.CertsAtLeastOne++
 		}
-		if s.StapledHosts == s.Hosts && s.Hosts > 0 {
+		if stapled == hosts && hosts > 0 {
 			st.CertsAll++
 		}
-		if h.Record.EV {
+		if ct.EV() {
 			st.EVCerts++
-			if s.StapledHosts > 0 {
+			if stapled > 0 {
 				st.EVAtLeastOne++
 			}
-			if s.StapledHosts == s.Hosts && s.Hosts > 0 {
+			if stapled == hosts && hosts > 0 {
 				st.EVAll++
 			}
 		}
-	}
+		return true
+	})
 	return st
 }
 
@@ -467,22 +518,27 @@ type LeafSetSummary struct {
 	IntermediateWithNeither int
 }
 
-// Summary computes the dataset overview.
+// Summary computes the dataset overview as a single streaming fold.
 func (w *World) Summary() LeafSetSummary {
 	var s LeafSetSummary
-	for _, h := range w.Corpus.Histories() {
+	lastIdx := w.Corpus.NumScans() - 1
+	w.Corpus.Visit(func(ct *corpus.Cert) bool {
 		s.Observed++
-		if h.Record.HasCRLDP {
+		hasCRL, hasOCSP := ct.HasCRLDP(), ct.HasOCSP()
+		if hasCRL {
 			s.WithCRL++
 		}
-		if h.Record.HasOCSP {
+		if hasOCSP {
 			s.WithOCSP++
 		}
-		if !h.Record.HasCRLDP && !h.Record.HasOCSP {
+		if !hasCRL && !hasOCSP {
 			s.WithNeither++
 		}
-	}
-	s.AdvertisedLatest = len(w.Corpus.LastScanAdvertisements())
+		if lastIdx >= 0 && ct.DeathScan() == lastIdx {
+			s.AdvertisedLatest++
+		}
+		return true
+	})
 	for _, rec := range w.Intermediates {
 		s.Intermediates++
 		if rec.HasCRLDP {

@@ -1,0 +1,33 @@
+package workload
+
+import "fmt"
+
+// DefaultDiskWorldBudget is the resident-run budget applied when the
+// disk world backend is selected without an explicit MemoryBudget:
+// large enough that seed-scale worlds never spill mid-build for
+// nothing, small enough that paper-scale corpora stream to disk.
+const DefaultDiskWorldBudget int64 = 256 << 20
+
+// ApplyWorldBackend wires the scan commands' -world/-worlddir knobs
+// into the config, symmetric with storeflag.Factory for -store.
+//
+// backend "mem" (or empty) keeps every sealed corpus segment resident.
+// backend "disk" spills sealed segments past cfg.MemoryBudget (defaulted
+// to DefaultDiskWorldBudget) into dir; an empty dir means a temporary
+// directory removed when the world closes.
+func ApplyWorldBackend(cfg *Config, backend, dir string) error {
+	switch backend {
+	case "", "mem":
+		cfg.MemoryBudget = 0
+		cfg.CorpusDir = ""
+		return nil
+	case "disk":
+		if cfg.MemoryBudget == 0 {
+			cfg.MemoryBudget = DefaultDiskWorldBudget
+		}
+		cfg.CorpusDir = dir
+		return nil
+	default:
+		return fmt.Errorf("unknown world backend %q (want mem or disk)", backend)
+	}
+}

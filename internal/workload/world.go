@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"strings"
 	"time"
 
@@ -45,6 +46,15 @@ type Config struct {
 	// world needs its own store (for the disk backend, its own
 	// directory). Close the world to close the store.
 	OpenStore func() (revdb.Store, error)
+	// MemoryBudget caps the bytes of encoded corpus sighting runs kept
+	// resident during the build; sealed scan segments beyond it spill to
+	// CorpusDir and are read back via mmap during analysis. Zero keeps
+	// every sealed segment in memory (the runs are still compact
+	// delta-encoded bytes, just not spilled).
+	MemoryBudget int64
+	// CorpusDir receives spilled corpus segments. Empty with a non-zero
+	// MemoryBudget means a temporary directory, removed on Close.
+	CorpusDir string
 
 	// SteadyRevPerYear is the steady-state fraction of advertised fresh
 	// certificates revoked per year (the >1% pre-Heartbleed baseline).
@@ -265,10 +275,17 @@ type World struct {
 
 func dayKey(t time.Time) string { return t.Format("2006-01-02") }
 
-// Close releases the world's revocation store — a no-op for the
-// in-memory backend, a WAL seal plus unmap for the disk backend. The
-// world is not usable afterwards.
-func (w *World) Close() error { return w.RevDB.Close() }
+// Close releases the world's corpus (unmapping and removing any spilled
+// segments) and its revocation store — a no-op for the fully in-memory
+// backends. The world is not usable afterwards.
+func (w *World) Close() error {
+	cerr := w.Corpus.Close()
+	serr := w.RevDB.Close()
+	if cerr != nil {
+		return cerr
+	}
+	return serr
+}
 
 // NewWorld builds the initial ecosystem (CAs, backfilled certificate
 // population, hosts) without running the clock.
@@ -283,11 +300,32 @@ func NewWorld(cfg Config) (*World, error) {
 	} else {
 		store = revdb.New()
 	}
+	// Each world claims its own spill subdirectory: experiment runners
+	// build several worlds from one Config, and segment filenames are
+	// per-corpus.
+	corpusDir := cfg.CorpusDir
+	if corpusDir != "" {
+		if err := os.MkdirAll(corpusDir, 0o755); err != nil {
+			store.Close()
+			return nil, fmt.Errorf("open corpus: %w", err)
+		}
+		d, err := os.MkdirTemp(corpusDir, "world-")
+		if err != nil {
+			store.Close()
+			return nil, fmt.Errorf("open corpus: %w", err)
+		}
+		corpusDir = d
+	}
+	corp, err := corpus.NewWithConfig(corpus.Config{SpillBudget: cfg.MemoryBudget, Dir: corpusDir})
+	if err != nil {
+		store.Close()
+		return nil, fmt.Errorf("open corpus: %w", err)
+	}
 	w := &World{
 		Cfg:      cfg,
 		Clock:    simtime.NewClock(cfg.Start),
 		Net:      simnet.New(),
-		Corpus:   corpus.New(),
+		Corpus:   corp,
 		Archive:  crawler.NewArchive(),
 		RevDB:    store,
 		Timeline: crlset.NewTimeline(),

@@ -1,0 +1,269 @@
+// Package worldbench generates deterministic paper-scale scan fixtures
+// for benchmarking the corpus engines against each other. A fixture is
+// a schedule of weekly scans over a churning certificate population:
+// every certificate is born at a fixed scan, lives a pseudo-random
+// number of scans, and is advertised by a pseudo-random-but-fixed host
+// count at each sighting. The same Config always produces the same
+// sightings, so the legacy in-memory engine and the streaming columnar
+// engine can be driven by identical input and compared on build
+// throughput, peak RSS, and analyze-output digests.
+package worldbench
+
+import (
+	"fmt"
+	"math/big"
+	"time"
+
+	"repro/internal/ca"
+	"repro/internal/corpus"
+	"repro/internal/simtime"
+)
+
+// Config shapes a synthetic scan fixture.
+type Config struct {
+	// Certs is the total number of distinct certificates ever observed —
+	// the paper's Leaf Set size at full scale is 38,514,130.
+	Certs int
+	// Scans is the number of weekly scans (the paper's crawl spans 74).
+	Scans int
+	// MaxLife bounds each certificate's sighting count; lives are
+	// 1..MaxLife scans, uniform-ish, so the mean is (MaxLife+1)/2.
+	MaxLife int
+	// Seed perturbs every pseudo-random draw.
+	Seed uint64
+}
+
+// PaperScale returns the full 38.5M-certificate fixture matching the
+// paper's corpus: 74 weekly scans, mean advertised lifetime ~5 scans,
+// ~190M sightings in total.
+func PaperScale() Config {
+	return Config{Certs: 38514130, Scans: 74, MaxLife: 9, Seed: 2015}
+}
+
+// Engine is the corpus-building surface shared by *corpus.Corpus and
+// *corpus.Legacy.
+type Engine interface {
+	RecordScan(at time.Time, ads []corpus.Advertisement)
+	Size() int
+	NumScans() int
+	Scans() []time.Time
+	PopulationAt(t time.Time) corpus.Population
+	Lifetimes() []float64
+}
+
+// Generator replays a fixture's scan schedule. Records for live
+// certificates are held in a ring sized to the maximum concurrent
+// population, so the generator's own footprint is O(live certs), not
+// O(total certs) — any growth beyond that is the engine under test.
+type Generator struct {
+	cfg     Config
+	perScan int
+	ring    []*ca.Record
+	// caNames/crlURLs/ocspURLs are shared across all records so record
+	// weight stays constant as the fixture scales.
+	caNames  []string
+	crlURLs  []string
+	ocspURLs []string
+	adBuf    []corpus.Advertisement
+}
+
+const genCAs = 8
+
+// New builds a generator for the fixture.
+func New(cfg Config) *Generator {
+	if cfg.Certs <= 0 || cfg.Scans <= 0 || cfg.MaxLife <= 0 {
+		panic("worldbench: Certs, Scans, MaxLife must be positive")
+	}
+	g := &Generator{
+		cfg:     cfg,
+		perScan: (cfg.Certs + cfg.Scans - 1) / cfg.Scans,
+	}
+	g.ring = make([]*ca.Record, g.perScan*cfg.MaxLife)
+	for i := 0; i < genCAs; i++ {
+		g.caNames = append(g.caNames, fmt.Sprintf("BenchCA%d", i))
+		g.crlURLs = append(g.crlURLs, fmt.Sprintf("http://crl.bench%d.test/crl/0", i))
+		g.ocspURLs = append(g.ocspURLs, fmt.Sprintf("http://ocsp.bench%d.test/ocsp", i))
+	}
+	return g
+}
+
+// mix is splitmix64: a cheap, statistically solid mixing function that
+// keeps the fixture deterministic without any RNG state.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (g *Generator) hash(cert, scan int) uint64 {
+	return mix(g.cfg.Seed ^ uint64(cert)<<20 ^ uint64(scan))
+}
+
+// life returns how many consecutive scans certificate i is advertised.
+func (g *Generator) life(i int) int {
+	return 1 + int(mix(g.cfg.Seed^uint64(i))%uint64(g.cfg.MaxLife))
+}
+
+// birthScan returns the scan at which certificate i first appears.
+func (g *Generator) birthScan(i int) int { return i / g.perScan }
+
+// ScanTime returns the time of scan s (weekly from the crawl start).
+func (g *Generator) ScanTime(s int) time.Time {
+	return simtime.Date(2013, time.October, 30).AddDate(0, 0, 7*s)
+}
+
+// NumScans returns the fixture's scan count.
+func (g *Generator) NumScans() int { return g.cfg.Scans }
+
+// TotalCerts returns the fixture's distinct certificate count.
+func (g *Generator) TotalCerts() int { return g.cfg.Certs }
+
+// record materializes certificate i's issuance record into its ring
+// slot. Each call allocates a fresh Record — engines that key by
+// pointer (the legacy map) retain it; the streaming engine copies what
+// it needs and lets dead certificates' records be collected once the
+// ring slot is reused, MaxLife scans later.
+func (g *Generator) record(i int) *ca.Record {
+	h := mix(g.cfg.Seed ^ uint64(i) ^ 0xc0ffee)
+	caIdx := int(h % genCAs)
+	birth := g.ScanTime(g.birthScan(i))
+	notBefore := birth.AddDate(0, 0, -int(h>>8%14))
+	// Most certificates outlive their advertised window; ~1% expire
+	// before their last sighting (Figure 1's atypical timeline).
+	validDays := 365
+	if h>>16%97 == 0 {
+		validDays = 7 * (1 + int(h>>24%3))
+	}
+	rec := &ca.Record{
+		CAName:    g.caNames[caIdx],
+		Serial:    big.NewInt(int64(i) + 1),
+		NotBefore: notBefore,
+		NotAfter:  notBefore.AddDate(0, 0, validDays),
+		EV:        h>>32%50 == 0,
+		HasCRLDP:  h>>40%100 != 0,
+		HasOCSP:   h>>48%20 != 0,
+	}
+	if rec.HasCRLDP {
+		rec.CRLURL = g.crlURLs[caIdx]
+	}
+	if rec.HasOCSP {
+		rec.OCSPURL = g.ocspURLs[caIdx]
+	}
+	rec.InternSerial()
+	g.ring[i%len(g.ring)] = rec
+	return rec
+}
+
+// Advertisements builds scan s's advertisement list, creating records
+// for newborn certificates. The returned slice is reused across calls.
+func (g *Generator) Advertisements(s int) []corpus.Advertisement {
+	ads := g.adBuf[:0]
+	loCert := 0
+	if lo := s - g.cfg.MaxLife + 1; lo > 0 {
+		loCert = lo * g.perScan
+	}
+	hiCert := (s + 1) * g.perScan
+	if hiCert > g.cfg.Certs {
+		hiCert = g.cfg.Certs
+	}
+	for i := loCert; i < hiCert; i++ {
+		birth := g.birthScan(i)
+		if s < birth || s >= birth+g.life(i) {
+			continue
+		}
+		var rec *ca.Record
+		if s == birth {
+			rec = g.record(i)
+		} else {
+			rec = g.ring[i%len(g.ring)]
+		}
+		h := g.hash(i, s)
+		hosts := 1 + int(h%7)
+		stapled := 0
+		if h>>8%5 == 0 {
+			stapled = 1 + int(h>>16)%hosts
+		}
+		ads = append(ads, corpus.Advertisement{Record: rec, Hosts: hosts, StapledHosts: stapled})
+	}
+	g.adBuf = ads
+	return ads
+}
+
+// BuildInto replays every scan into the engine and returns the total
+// sighting count.
+func (g *Generator) BuildInto(e Engine) int64 {
+	var sightings int64
+	for s := 0; s < g.cfg.Scans; s++ {
+		ads := g.Advertisements(s)
+		e.RecordScan(g.ScanTime(s), ads)
+		sightings += int64(len(ads))
+	}
+	return sightings
+}
+
+// certDigest folds one certificate's identity and full sighting run
+// into a single word.
+func certDigest(caName string, serial []byte, sightings []corpus.Sighting) uint64 {
+	h := uint64(14695981039346656037)
+	step := func(b byte) { h = (h ^ uint64(b)) * 1099511628211 }
+	for i := 0; i < len(caName); i++ {
+		step(caName[i])
+	}
+	step(0xff)
+	for _, b := range serial {
+		step(b)
+	}
+	for _, s := range sightings {
+		for shift := 0; shift < 64; shift += 8 {
+			step(byte(uint64(s.Scan.UnixNano()) >> shift))
+		}
+		step(byte(s.Hosts))
+		step(byte(s.Hosts >> 8))
+		step(byte(s.StapledHosts))
+		step(byte(s.StapledHosts >> 8))
+	}
+	return mix(h)
+}
+
+// populationDigest samples the engine's population fold at the first,
+// middle, and last scans.
+func populationDigest(e Engine) uint64 {
+	scans := e.Scans()
+	if len(scans) == 0 {
+		return 0
+	}
+	var d uint64
+	for _, s := range []int{0, len(scans) / 2, len(scans) - 1} {
+		p := e.PopulationAt(scans[s])
+		d = mix(d ^ uint64(p.Fresh)<<32 ^ uint64(p.Alive))
+		d = mix(d ^ uint64(p.FreshEV)<<32 ^ uint64(p.AliveEV))
+	}
+	return d
+}
+
+// DigestLegacy computes the order-independent analyze digest of a
+// legacy corpus: XOR of per-certificate history digests, mixed with the
+// sampled population counts.
+func DigestLegacy(c *corpus.Legacy) uint64 {
+	var d uint64
+	for _, h := range c.Histories() {
+		d ^= certDigest(h.Record.CAName, h.Record.SerialMagnitude(), h.Sightings)
+	}
+	return d ^ populationDigest(c)
+}
+
+// DigestStreaming computes the same digest through the streaming
+// engine's history merge; equal values mean the two engines agree on
+// every sighting of every certificate and on the population folds.
+func DigestStreaming(c *corpus.Corpus) (uint64, error) {
+	var d uint64
+	err := c.VisitHistories(func(ct *corpus.Cert, sightings []corpus.Sighting) bool {
+		d ^= certDigest(ct.CAName(), ct.Serial(), sightings)
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	return d ^ populationDigest(c), nil
+}

@@ -1,0 +1,102 @@
+package worldbench
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+func testCfg() Config {
+	return Config{Certs: 30000, Scans: 20, MaxLife: 6, Seed: 99}
+}
+
+// TestEngineParity drives the identical fixture into the legacy and
+// streaming engines (resident and force-spilled) and requires the same
+// sizes, sighting totals, and analyze digests from all three.
+func TestEngineParity(t *testing.T) {
+	g := New(testCfg())
+	leg := corpus.NewLegacy()
+	legSight := g.BuildInto(leg)
+
+	stream := corpus.New()
+	streamSight := New(testCfg()).BuildInto(stream)
+
+	spilled, err := corpus.NewWithConfig(corpus.Config{SpillBudget: 1, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer spilled.Close()
+	spilledSight := New(testCfg()).BuildInto(spilled)
+
+	if legSight != streamSight || legSight != spilledSight {
+		t.Fatalf("sightings: legacy %d stream %d spilled %d", legSight, streamSight, spilledSight)
+	}
+	if leg.Size() != stream.Size() || leg.Size() != spilled.Size() {
+		t.Fatalf("sizes: legacy %d stream %d spilled %d", leg.Size(), stream.Size(), spilled.Size())
+	}
+	if leg.Size() != testCfg().Certs {
+		t.Fatalf("size %d, want every cert observed (%d)", leg.Size(), testCfg().Certs)
+	}
+
+	want := DigestLegacy(leg)
+	if want == 0 {
+		t.Fatal("legacy digest is zero — degenerate fixture")
+	}
+	got, err := DigestStreaming(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("streaming digest %x != legacy %x", got, want)
+	}
+	gotSpilled, err := DigestStreaming(spilled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSpilled != want {
+		t.Fatalf("spilled digest %x != legacy %x", gotSpilled, want)
+	}
+	if st := spilled.Stats(); st.SpilledSegments == 0 {
+		t.Fatalf("expected spill, stats = %+v", st)
+	}
+}
+
+// TestGeneratorDeterminism pins that two generators with the same
+// config emit byte-identical schedules.
+func TestGeneratorDeterminism(t *testing.T) {
+	a, b := corpus.New(), corpus.New()
+	New(testCfg()).BuildInto(a)
+	New(testCfg()).BuildInto(b)
+	da, err := DigestStreaming(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := DigestStreaming(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if da != db {
+		t.Fatalf("digests diverged: %x vs %x", da, db)
+	}
+}
+
+// TestLifetimeBounds sanity-checks the fixture shape: every life is
+// within [1, MaxLife] scans and the mean is near (MaxLife+1)/2.
+func TestLifetimeBounds(t *testing.T) {
+	cfg := testCfg()
+	c := corpus.New()
+	New(cfg).BuildInto(c)
+	var total float64
+	lives := c.Lifetimes()
+	for _, l := range lives {
+		if l < 0 || l > float64(7*(cfg.MaxLife-1)) {
+			t.Fatalf("lifetime %v days out of range", l)
+		}
+		total += l / 7
+	}
+	mean := total/float64(len(lives)) + 1 // scans spanned, not gaps
+	want := float64(cfg.MaxLife+1) / 2
+	if mean < want-0.6 || mean > want+0.6 {
+		t.Fatalf("mean life %.2f scans, want ~%.1f", mean, want)
+	}
+}
