@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check vet build test race race-hot bench-smoke bench bench-all bench-crl bench-crl-check bench-fleet bench-fleet-check bench-revdb bench-revdb-check bench-world bench-world-check chaos fuzz-short
+.PHONY: check vet build test race race-hot bench-smoke bench bench-all bench-crl bench-crl-check bench-fleet bench-fleet-check bench-revdb bench-revdb-check bench-world bench-world-check bench-cascade bench-cascade-check chaos fuzz-short
 
 # check is the full pre-merge gate: static checks, race-enabled tests on
-# the concurrency-hot packages and then the whole tree, the chaos
+# the concurrency-hot packages and then the whole tree (including the
+# cascade differential battery in internal/workload), the chaos
 # differential harness on its fixed seeds, a short fuzz pass over the
 # DER-facing parsers, and a one-iteration smoke of the end-to-end
 # world-build benchmark.
-check: vet build race-hot race chaos fuzz-short bench-smoke bench-crl-check bench-fleet-check bench-revdb-check bench-world-check
+check: vet build race-hot race chaos fuzz-short bench-smoke bench-crl-check bench-fleet-check bench-revdb-check bench-world-check bench-cascade-check
 
 vet:
 	$(GO) vet ./...
@@ -26,7 +27,7 @@ race:
 # crawler pool, fault injector, sharded browser cache, fleet driver,
 # revocation store backends).
 race-hot:
-	$(GO) test -race ./internal/ocsp ./internal/crawler ./internal/faultnet/... ./internal/browser ./internal/fleet ./internal/revdb ./internal/revdb/segdb ./internal/corpus ./internal/workload
+	$(GO) test -race ./internal/ocsp ./internal/crawler ./internal/faultnet/... ./internal/browser ./internal/fleet ./internal/revdb ./internal/revdb/segdb ./internal/corpus ./internal/workload ./internal/cascade
 
 # chaos runs the seeded fault-injection differential harness: fixed seeds,
 # each played twice faulted and once clean, asserting determinism,
@@ -40,6 +41,7 @@ fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=10s ./internal/der
 	$(GO) test -run='^$$' -fuzz=FuzzParseCRL -fuzztime=10s ./internal/crl
 	$(GO) test -run='^$$' -fuzz=FuzzParseCRLSet -fuzztime=10s ./internal/crlset
+	$(GO) test -run='^$$' -fuzz=FuzzCascadeDecode -fuzztime=10s ./internal/cascade
 
 # bench-smoke builds one world end to end under the benchmark harness —
 # enough to catch pipeline regressions without paying for stable timings.
@@ -106,3 +108,16 @@ bench-world:
 # the 38.5M RSS budget split.
 bench-world-check:
 	$(GO) run ./cmd/benchworld -check BENCH_pr7.json -quick
+
+# bench-cascade regenerates BENCH_pr8.json: the filter-cascade record
+# (snapshot + daily-delta bytes/day/client vs CRLSet vs raw CRLs, the
+# zero-FP/zero-FN exactness audit, and the fully-offline fleet phase).
+bench-cascade:
+	$(GO) run ./cmd/benchcascade -o BENCH_pr8.json
+
+# bench-cascade-check is the regression gate in `make check`: it re-runs
+# the publisher and offline-fleet phases on a small world and fails if
+# any gate (bandwidth ratios, exact coverage, offline allocs/verdict,
+# zero network) breaks or allocs regress against BENCH_pr8.json.
+bench-cascade-check:
+	$(GO) run ./cmd/benchcascade -check BENCH_pr8.json -quick

@@ -58,8 +58,11 @@ type CacheReport struct {
 	DedupeJoins int64   `json:"dedupe_joins"`
 }
 
-// FastPathReport is the CRLSet/Bloom attribution of one phase.
+// FastPathReport is the cascade/CRLSet/Bloom attribution of one phase.
 type FastPathReport struct {
+	CascadeHits    int `json:"cascade_hits,omitempty"`
+	CascadeMisses  int `json:"cascade_misses,omitempty"`
+	CascadeStale   int `json:"cascade_stale,omitempty"`
 	CRLSetHits     int `json:"crlset_hits,omitempty"`
 	CRLSetMisses   int `json:"crlset_misses,omitempty"`
 	BloomNegatives int `json:"bloom_negatives,omitempty"`
@@ -117,6 +120,7 @@ type Gates struct {
 	WarmHitRatioOK    bool    `json:"warm_hit_ratio_ok"`
 	DeterminismOK     bool    `json:"determinism_ok"`
 	CRLSetOfflineOK   bool    `json:"crlset_offline_ok"`
+	CascadeOfflineOK  bool    `json:"cascade_offline_ok"`
 }
 
 // Report is the full JSON document.
@@ -164,6 +168,9 @@ func toPhase(name string, res fleet.Result) Phase {
 			DedupeJoins: res.Cache.DedupeJoins,
 		},
 		FastPath: FastPathReport{
+			CascadeHits:    res.FastPath.CascadeHits,
+			CascadeMisses:  res.FastPath.CascadeMisses,
+			CascadeStale:   res.FastPath.CascadeStale,
 			CRLSetHits:     res.FastPath.CRLSetHits,
 			CRLSetMisses:   res.FastPath.CRLSetMisses,
 			BloomNegatives: res.FastPath.BloomNegatives,
@@ -246,6 +253,10 @@ func runFleet(cfg Config, stdout io.Writer) (*Report, error) {
 	}); err != nil {
 		return nil, err
 	}
+	cascadeRes, err := measure("cascade-fastpath", fleet.RunOptions{Workers: cfg.Workers, Cascade: true})
+	if err != nil {
+		return nil, err
+	}
 
 	// Singleflight stampede: N cold clients, one URL.
 	st, err := w.Stampede(cfg.StampedeClients)
@@ -311,6 +322,7 @@ func runFleet(cfg Config, stdout io.Writer) (*Report, error) {
 	g.WarmHitRatioOK = shardedWarm.Cache.HitRatio() >= minWarmHitRatio
 	g.DeterminismOK = rep.Determinism.Match
 	g.CRLSetOfflineOK = crlsetRes.NetRequests == 0
+	g.CascadeOfflineOK = cascadeRes.NetRequests == 0 && cascadeRes.FastPath.CascadeStale == 0
 	_ = shardedCold
 	return rep, nil
 }
@@ -345,6 +357,11 @@ func checkGates(rep *Report) error {
 		p := rep.phase("crlset-fastpath")
 		return fmt.Errorf("crlset gate failed: fast-path fleet made %d network requests", p.NetRequests)
 	}
+	if !g.CascadeOfflineOK {
+		p := rep.phase("cascade-fastpath")
+		return fmt.Errorf("cascade gate failed: offline fleet made %d network requests (%d stale verdicts)",
+			p.NetRequests, p.FastPath.CascadeStale)
+	}
 	return nil
 }
 
@@ -356,7 +373,7 @@ func checkAgainst(recorded, current *Report) error {
 	if err := checkGates(current); err != nil {
 		return err
 	}
-	for _, name := range []string{"sharded-warm", "crlset-fastpath"} {
+	for _, name := range []string{"sharded-warm", "crlset-fastpath", "cascade-fastpath"} {
 		rec, cur := recorded.phase(name), current.phase(name)
 		if rec == nil || cur == nil {
 			continue

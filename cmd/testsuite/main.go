@@ -1,11 +1,12 @@
 // Command testsuite runs the 250-configuration browser revocation test
 // suite against every modelled browser/OS profile and prints the paper's
 // Table 2 matrix. With -profile it prints per-case outcomes for a single
-// profile instead.
+// profile instead; adding -cascade installs a fresh suite-built filter
+// cascade and evaluates that profile fully offline.
 //
 // Usage:
 //
-//	testsuite [-profile "Firefox 40"]
+//	testsuite [-profile "Firefox 40" [-cascade]]
 package main
 
 import (
@@ -13,8 +14,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/browser"
+	"repro/internal/cascade"
 	"repro/internal/profiling"
 	"repro/internal/testsuite"
 )
@@ -28,9 +31,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("testsuite", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	profileName := fs.String("profile", "", "print per-case outcomes for this profile only")
+	useCascade := fs.Bool("cascade", false, "install a suite-built filter cascade and run the profile offline (requires -profile)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *useCascade && *profileName == "" {
+		fmt.Fprintln(stderr, "testsuite: -cascade requires -profile")
 		return 1
 	}
 	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
@@ -67,10 +75,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			return 1
 		}
-		rep, err := suite.Run(profile)
-		if err != nil {
-			fmt.Fprintln(stderr, "testsuite:", err)
-			return 1
+		var rep *testsuite.Report
+		if *useCascade {
+			flt, err := suite.BuildCascade(cascade.BuildConfig{
+				Epoch:   1,
+				BuiltAt: suite.Clock.Now(),
+				MaxAge:  48 * time.Hour,
+			})
+			if err != nil {
+				fmt.Fprintln(stderr, "testsuite:", err)
+				return 1
+			}
+			fmt.Fprintf(stderr, "cascade: %d levels, %d revoked keys, %d bytes\n",
+				flt.NumLevels(), flt.NumRevoked(), flt.SizeBytes())
+			rep, err = suite.RunCascade(profile, flt)
+			if err != nil {
+				fmt.Fprintln(stderr, "testsuite:", err)
+				return 1
+			}
+		} else {
+			var err error
+			rep, err = suite.Run(profile)
+			if err != nil {
+				fmt.Fprintln(stderr, "testsuite:", err)
+				return 1
+			}
 		}
 		for _, id := range suite.SortedCaseIDs() {
 			fmt.Fprintf(stdout, "%-55s %s\n", id, rep.Outcomes[id])

@@ -9,10 +9,12 @@ import (
 	"time"
 
 	"repro/internal/bloom"
+	"repro/internal/cascade"
 	"repro/internal/crl"
 	"repro/internal/crlset"
 	"repro/internal/faultnet"
 	"repro/internal/ocsp"
+	"repro/internal/serialx"
 	"repro/internal/x509x"
 )
 
@@ -67,13 +69,25 @@ func cachedResult(s status) string {
 type Event struct {
 	Subject  string
 	Pos      Position
-	Protocol string // "ocsp", "crl", "staple", "crlset", "bloom"
+	Protocol string // "ocsp", "crl", "staple", "crlset", "bloom", "cascade"
 	Result   string
 }
 
 // FastPathStats attributes local fast-path consultations within one
-// verdict (§7: CRLSet; §7.4: Bloom filter).
+// verdict (CRLite-style cascade; §7: CRLSet; §7.4: Bloom filter).
 type FastPathStats struct {
+	// CascadeHits counts chain elements the filter cascade answered
+	// authoritatively (issuer enrolled, cert predates the snapshot
+	// cutoff, snapshot fresh) — exact verdict, no fetch.
+	CascadeHits int
+	// CascadeMisses counts elements the cascade could not cover
+	// (unenrolled issuer or cert newer than the snapshot), which fall
+	// through to CRLSet/Bloom/network.
+	CascadeMisses int
+	// CascadeStale counts elements skipped because the snapshot aged
+	// past its max-age — a stale cascade may miss fresh revocations, so
+	// the client falls back to the network path.
+	CascadeStale int
 	// CRLSetHits counts chain elements whose issuer the CRLSet covers —
 	// the set is authoritative there, revoked or not, and no fetch runs.
 	CRLSetHits int
@@ -93,6 +107,9 @@ type FastPathStats struct {
 
 // add accumulates other into s, for fleet-level aggregation.
 func (s *FastPathStats) Add(other FastPathStats) {
+	s.CascadeHits += other.CascadeHits
+	s.CascadeMisses += other.CascadeMisses
+	s.CascadeStale += other.CascadeStale
 	s.CRLSetHits += other.CRLSetHits
 	s.CRLSetMisses += other.CRLSetMisses
 	s.BloomNegatives += other.BloomNegatives
@@ -137,6 +154,13 @@ type Client struct {
 	// do (§2.2). A *Cache additionally collapses concurrent same-URL CRL
 	// downloads into one fetch (singleflight).
 	Cache Store
+	// Cascade, when non-nil, is a CRLite-style filter cascade consulted
+	// before CRLSet and Bloom: for enrolled issuers and certs predating
+	// its snapshot cutoff it answers revoked-or-not exactly — an
+	// authoritative offline verdict over the *complete* revocation
+	// corpus, where the CRLSet covers <1%. A stale snapshot (past its
+	// max-age) is skipped entirely and checking falls through.
+	Cascade *cascade.Filter
 	// CRLSet, when non-nil, is consulted as a Chrome-style local fast
 	// path before any staple or network fetch (§7): for issuers the set
 	// covers it answers revoked-or-not authoritatively without network
@@ -173,11 +197,14 @@ func (c *Client) now() time.Time {
 }
 
 // BloomKey appends the revocation-filter key for (parent, serial) to dst:
-// the issuer's SPKI hash followed by the compact serial magnitude. Both
-// the filter builder and the client fast path must use this layout.
+// the issuer's SPKI hash followed by the canonical serial magnitude
+// (serialx.Canon — leading zeros stripped, the zero serial contributes no
+// bytes), so two encodings of the same serial value always hash to the
+// same key. Both the filter builder and the client fast path must use
+// this layout; the cascade uses it too.
 func BloomKey(dst []byte, parent crlset.Parent, serial []byte) []byte {
 	dst = append(dst, parent[:]...)
-	return append(dst, serial...)
+	return append(dst, serialx.Canon(serial)...)
 }
 
 // Evaluate runs the profile against a chain ordered leaf-first and ending
@@ -326,12 +353,33 @@ func (c *Client) EvaluateInto(v *Verdict, chainCerts []*x509x.Certificate, stapl
 // (cert, issuer). decided is true when the artifacts answered the
 // revocation question and no staple or network check should run.
 func (c *Client) localFastPath(v *Verdict, cert, issuer *x509x.Certificate, pos Position) (status, bool) {
-	if c.CRLSet == nil && c.Bloom == nil {
+	if c.Cascade == nil && c.CRLSet == nil && c.Bloom == nil {
 		return stUnavailable, false
 	}
 	var keyBuf [56]byte // 32-byte parent + serials up to 20 bytes (RFC 5280 §4.1.2.2)
 	parent := crlset.Parent(x509x.SPKIHash(issuer.RawSPKI))
 	serial := appendSerial(keyBuf[32:32], cert.SerialNumber)
+
+	if c.Cascade != nil {
+		if !c.Cascade.FreshAt(c.now()) {
+			v.FastPath.CascadeStale++
+			c.log(v, cert, pos, "cascade", "stale")
+		} else if c.Cascade.Covers(cascade.Parent(parent), cert.NotBefore) {
+			// Enrolled and fresh: the cascade's answer is exact, not
+			// probabilistic — it is authoritative either way.
+			v.FastPath.CascadeHits++
+			key := keyBuf[:32+len(serial)]
+			copy(key, parent[:])
+			if c.Cascade.Revoked(key) {
+				c.log(v, cert, pos, "cascade", "revoked")
+				return stRevoked, true
+			}
+			c.log(v, cert, pos, "cascade", "good")
+			return stGood, true
+		} else {
+			v.FastPath.CascadeMisses++
+		}
+	}
 
 	if c.CRLSet != nil {
 		if len(c.CRLSet.BlockedSPKIs) > 0 {

@@ -1,9 +1,12 @@
 package browser
 
 import (
+	"bytes"
 	"testing"
+	"time"
 
 	"repro/internal/bloom"
+	"repro/internal/cascade"
 	"repro/internal/crl"
 	"repro/internal/crlset"
 	"repro/internal/x509x"
@@ -138,5 +141,132 @@ func TestBloomFastPath(t *testing.T) {
 	}
 	if w.net.TotalStats().Requests == 0 {
 		t.Error("Bloom positive should have triggered a network check")
+	}
+}
+
+// buildChainCascade builds a cascade over the test world's chain: the
+// revoked keys plus a small synthetic population under the same issuers.
+func buildChainCascade(t *testing.T, chain []*x509x.Certificate, revokedSerials [][]byte, cfg cascade.BuildConfig) *cascade.Filter {
+	t.Helper()
+	var parents []cascade.Parent
+	for _, p := range coveredParents(chain) {
+		parents = append(parents, cascade.Parent(p))
+	}
+	issuer := parents[0]
+	var revoked [][]byte
+	for _, s := range revokedSerials {
+		revoked = append(revoked, cascade.AppendKey(nil, issuer, s))
+	}
+	visit := func(fn func(key []byte) bool) {
+		for _, k := range revoked {
+			if !fn(k) {
+				return
+			}
+		}
+		for i := 0; i < 500; i++ {
+			serial := []byte{0x55, byte(i >> 8), byte(i)}
+			if !fn(cascade.AppendKey(nil, issuer, serial)) {
+				return
+			}
+		}
+	}
+	f, err := cascade.Build(revoked, visit, parents, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestCascadeFastPathAuthoritative: a fresh cascade answers both the
+// revoked and the good leaf offline, exactly, before CRLSet/Bloom.
+func TestCascadeFastPathAuthoritative(t *testing.T) {
+	w := newWorld(t, ocspOnly)
+	revokedChain, rec := w.leaf(false)
+	if err := w.inter.Revoke(rec.Serial, w.clock.Now(), crl.ReasonKeyCompromise); err != nil {
+		t.Fatal(err)
+	}
+	goodChain, _ := w.leaf(false)
+
+	client := w.client(Hardened())
+	client.Cascade = buildChainCascade(t, revokedChain, [][]byte{rec.Serial.Bytes()}, cascade.BuildConfig{
+		Epoch: 1, BuiltAt: w.clock.Now(), MaxAge: 48 * time.Hour,
+	})
+
+	v := mustEval(t, client, revokedChain)
+	if v.Outcome != OutcomeReject || !v.RevocationDetected {
+		t.Errorf("cascade-revoked leaf: %+v", v)
+	}
+	if v.FastPath.CascadeHits == 0 {
+		t.Errorf("no cascade hits attributed: %+v", v.FastPath)
+	}
+	v = mustEval(t, client, goodChain)
+	if v.Outcome != OutcomeAccept {
+		t.Errorf("good leaf: %+v", v)
+	}
+	if got := w.net.TotalStats().Requests; got != 0 {
+		t.Errorf("authoritative cascade made %d network requests", got)
+	}
+}
+
+// TestCascadeStaleFallsBack: once the snapshot outlives its max-age the
+// cascade is skipped and checking goes to the network.
+func TestCascadeStaleFallsBack(t *testing.T) {
+	w := newWorld(t, ocspOnly)
+	chain, _ := w.leaf(false)
+	client := w.client(Hardened())
+	client.Cascade = buildChainCascade(t, chain, nil, cascade.BuildConfig{
+		Epoch: 1, BuiltAt: w.clock.Now().Add(-72 * time.Hour), MaxAge: 24 * time.Hour,
+	})
+
+	v := mustEval(t, client, chain)
+	if v.Outcome != OutcomeAccept {
+		t.Errorf("verdict: %+v", v)
+	}
+	if v.FastPath.CascadeStale == 0 || v.FastPath.CascadeHits != 0 {
+		t.Errorf("stale cascade consulted: %+v", v.FastPath)
+	}
+	if w.net.TotalStats().Requests == 0 {
+		t.Error("stale cascade should have fallen back to the network")
+	}
+}
+
+// TestCascadeCutoffExcludesNewCerts: a cert issued after the snapshot
+// cutoff was never streamed through the build — the cascade must not
+// answer for it.
+func TestCascadeCutoffExcludesNewCerts(t *testing.T) {
+	w := newWorld(t, ocspOnly)
+	chain, _ := w.leaf(false) // NotBefore is one month before now
+	client := w.client(Hardened())
+	client.Cascade = buildChainCascade(t, chain, nil, cascade.BuildConfig{
+		Epoch: 1, BuiltAt: w.clock.Now(), Cutoff: w.clock.Now().AddDate(0, -2, 0),
+	})
+
+	v := mustEval(t, client, chain)
+	// The older intermediate may still hit; the leaf must miss.
+	if v.FastPath.CascadeMisses == 0 {
+		t.Errorf("post-cutoff cert answered by cascade: %+v", v.FastPath)
+	}
+	for _, e := range v.Events {
+		if e.Protocol == "cascade" && e.Pos == PosLeaf {
+			t.Errorf("cascade answered the post-cutoff leaf: %+v", e)
+		}
+	}
+	if w.net.TotalStats().Requests == 0 {
+		t.Error("uncovered cert should have hit the network")
+	}
+}
+
+// TestCascadeKeyMatchesBloomKey pins the shared key layout: the cascade
+// and the Bloom filter must agree byte for byte, including serial
+// canonicalization.
+func TestCascadeKeyMatchesBloomKey(t *testing.T) {
+	var p crlset.Parent
+	p[5] = 0xaa
+	for _, serial := range [][]byte{nil, {0x00}, {0x00, 0x17}, {0x80, 0x01}} {
+		a := BloomKey(nil, p, serial)
+		b := cascade.AppendKey(nil, cascade.Parent(p), serial)
+		if !bytes.Equal(a, b) {
+			t.Errorf("key drift for serial %x: bloom %x, cascade %x", serial, a, b)
+		}
 	}
 }

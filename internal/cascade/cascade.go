@@ -1,0 +1,369 @@
+// Package cascade implements a CRLite-style multi-level Bloom filter
+// cascade over the full revocation corpus: a push-based artifact that is
+// both complete (every revocation is represented) and exact for every
+// enrolled certificate, unlike the <1%-coverage CRLSet and the
+// false-positive-prone single Bloom filter of §7.4.
+//
+// # Construction
+//
+// Level 1 is a Bloom filter over the revoked key set R at a low
+// false-positive rate (p≈1/128, k=7). Level 2 holds the *false positives*
+// of level 1: every enrolled non-revoked key that level 1 wrongly claims,
+// discovered by streaming the entire known-certificate population
+// (corpus.Corpus.Visit) through level 1. Level 3 holds the revoked keys
+// that level 2 wrongly claims, and so on, alternating between subsets of
+// R and subsets of the population, each level at p≈1/2 (k=1), until a
+// level captures no false positives. Because every wrong answer at level
+// i is enumerated exactly at level i+1, the final structure gives the
+// ground-truth answer for every key that was in R or in the streamed
+// population at build time — zero false positives, zero false negatives.
+// Each level salts its hashes with the level index so false positives do
+// not correlate across levels (an unsalted cascade can fail to converge).
+//
+// A key is the issuing CA's SPKI hash (32 bytes) followed by the
+// canonical serial magnitude (serialx.Canon) — the same layout
+// browser.BloomKey produces.
+//
+// # Enrollment and freshness
+//
+// The cascade's exactness claim holds only for certificates it has seen:
+// a cert is enrolled when its issuer's parent hash is in the snapshot's
+// parent list and its NotBefore predates the snapshot cutoff. Clients
+// must fall back to the network for anything else, and for snapshots
+// older than their max-age (a stale cascade may miss fresh revocations).
+//
+// # Updates
+//
+// A Publisher maintains a daily chain: adds are OR'd into the fixed-size
+// level 1, removals simply leave their bits set (a removed key becomes a
+// level-1 false positive, is captured by the rebuilt level 2, and the
+// verdict flips back to Good — exactness is preserved without bit
+// deletion), and the small deep levels are rebuilt each day. Each epoch
+// ships as a full snapshot plus a binary delta against the previous
+// snapshot, CRC-fenced on both ends so a client can never apply a delta
+// to the wrong base (see delta.go).
+package cascade
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+const (
+	// maxLevels caps cascade depth; construction past this means the
+	// level populations are not shrinking (pathological correlation) and
+	// the build errors out rather than looping.
+	maxLevels = 64
+	// level1K is the hash count of level 1, giving p = 2^-7 at the sized
+	// capacity so level 2 stays ~1% of the population.
+	level1K = 7
+	// ParentSize is the byte length of an issuer key hash (SHA-256 of
+	// the SubjectPublicKeyInfo), the prefix of every cascade key.
+	ParentSize = 32
+)
+
+// Parent identifies an issuing key: SHA-256 of its SubjectPublicKeyInfo
+// (the same value crlset.Parent holds).
+type Parent [ParentSize]byte
+
+// level is one Bloom filter of the cascade. bits may alias the decode
+// buffer (zero-copy, mmap-friendly); it is never written after build.
+type level struct {
+	k     uint32
+	mBits uint64
+	bits  []byte
+}
+
+// sizeLevel1 returns the level-1 bit count for the given key capacity:
+// m = n·k/ln2 (so the filter runs at p = 2^-k when full), rounded up to
+// a 64-bit multiple.
+func sizeLevel1(capacity int) uint64 {
+	m := uint64(float64(capacity)*float64(level1K)/0.6931471805599453) + 1
+	return (m + 63) &^ 63
+}
+
+// sizeDeep returns the bit count of a deep (k=1) level holding n keys:
+// m = n/ln2 ≈ 1.4427·n, floor 64 bits.
+func sizeDeep(n int) uint64 {
+	m := uint64(float64(n)*1.4426950408889634) + 1
+	if m < 64 {
+		m = 64
+	}
+	return (m + 63) &^ 63
+}
+
+func newLevel(k uint32, mBits uint64) level {
+	return level{k: k, mBits: mBits, bits: make([]byte, (mBits+7)/8)}
+}
+
+// hashPair derives the two double-hashing bases for key at a level,
+// salting with the level index so probe positions decorrelate across
+// levels (Kirsch–Mitzenmacher, like internal/bloom, plus the salt).
+func hashPair(salt byte, key []byte) (uint64, uint64) {
+	var buf [64]byte
+	var b []byte
+	if len(key) < len(buf) {
+		b = buf[:1+len(key)]
+	} else {
+		b = make([]byte, 1+len(key))
+	}
+	b[0] = salt
+	copy(b[1:], key)
+	sum := sha256.Sum256(b)
+	h1 := uint64(sum[0])<<56 | uint64(sum[1])<<48 | uint64(sum[2])<<40 | uint64(sum[3])<<32 |
+		uint64(sum[4])<<24 | uint64(sum[5])<<16 | uint64(sum[6])<<8 | uint64(sum[7])
+	h2 := uint64(sum[8])<<56 | uint64(sum[9])<<48 | uint64(sum[10])<<40 | uint64(sum[11])<<32 |
+		uint64(sum[12])<<24 | uint64(sum[13])<<16 | uint64(sum[14])<<8 | uint64(sum[15])
+	return h1, h2 | 1
+}
+
+func (l *level) add(salt byte, key []byte) {
+	h1, h2 := hashPair(salt, key)
+	for i := uint64(0); i < uint64(l.k); i++ {
+		bit := (h1 + i*h2) % l.mBits
+		l.bits[bit>>3] |= 1 << (bit & 7)
+	}
+}
+
+func (l *level) contains(salt byte, key []byte) bool {
+	h1, h2 := hashPair(salt, key)
+	for i := uint64(0); i < uint64(l.k); i++ {
+		bit := (h1 + i*h2) % l.mBits
+		if l.bits[bit>>3]&(1<<(bit&7)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Filter is a decoded cascade snapshot. It is immutable and safe for
+// concurrent use; its parent list and level bit arrays may alias the
+// buffer handed to Decode.
+type Filter struct {
+	epoch    uint32
+	builtAt  int64 // unix seconds
+	cutoff   int64 // unix seconds; certs issued at/after this are not enrolled
+	maxAge   uint32
+	nRevoked uint32
+	parents  []byte // nParents × 32, strictly ascending
+	levels   []level
+}
+
+// Epoch returns the snapshot's position in the publisher's chain.
+func (f *Filter) Epoch() uint32 { return f.epoch }
+
+// BuiltAt returns the snapshot's build time.
+func (f *Filter) BuiltAt() time.Time { return time.Unix(f.builtAt, 0).UTC() }
+
+// NumLevels returns the cascade depth.
+func (f *Filter) NumLevels() int { return len(f.levels) }
+
+// NumRevoked returns the number of revoked keys the snapshot encodes.
+func (f *Filter) NumRevoked() int { return int(f.nRevoked) }
+
+// NumParents returns the number of enrolled issuers.
+func (f *Filter) NumParents() int { return len(f.parents) / ParentSize }
+
+// FreshAt reports whether the snapshot is still within its max-age at
+// now. A stale cascade must not give authoritative verdicts — it may
+// miss revocations published since — so clients fall back to the
+// network. A zero max-age means the snapshot never expires.
+func (f *Filter) FreshAt(now time.Time) bool {
+	return f.maxAge == 0 || !now.After(time.Unix(f.builtAt+int64(f.maxAge), 0))
+}
+
+// EnrolledParent reports whether issuer p is covered by this snapshot.
+func (f *Filter) EnrolledParent(p Parent) bool {
+	n := len(f.parents) / ParentSize
+	i := sort.Search(n, func(i int) bool {
+		return bytes.Compare(f.parents[i*ParentSize:(i+1)*ParentSize], p[:]) >= 0
+	})
+	return i < n && bytes.Equal(f.parents[i*ParentSize:(i+1)*ParentSize], p[:])
+}
+
+// Covers reports whether the cascade's verdict is authoritative for a
+// certificate: its issuer must be enrolled and it must have been issued
+// before the snapshot cutoff (later certs were never streamed through
+// the build, so exactness does not extend to them).
+func (f *Filter) Covers(p Parent, notBefore time.Time) bool {
+	return notBefore.Unix() < f.cutoff && f.EnrolledParent(p)
+}
+
+// Revoked returns the cascade's verdict for key, which must be the
+// AppendKey layout. The answer is exact — ground truth, not
+// probabilistic — for every key enrolled at build time (Covers);
+// for anything else it is meaningless and must not be consulted.
+//
+// A miss at an odd level (1-based) proves the key is not in R; a miss
+// at an even level proves it is not in the whitelist of the level
+// above, i.e. it is revoked. A key passing every level belongs to the
+// deepest level's population.
+func (f *Filter) Revoked(key []byte) bool {
+	for i := range f.levels {
+		if !f.levels[i].contains(byte(i), key) {
+			return i%2 == 1
+		}
+	}
+	return len(f.levels)%2 == 1
+}
+
+// SizeBytes returns the encoded snapshot size.
+func (f *Filter) SizeBytes() int {
+	n := headerSize + len(f.parents) + crcSize
+	for _, l := range f.levels {
+		n += levelHeaderSize + len(l.bits)
+	}
+	return n
+}
+
+// AppendKey appends the cascade key for (parent, serial) to dst: the
+// issuer's SPKI hash followed by the canonical serial magnitude. This is
+// the same layout as browser.BloomKey; the duplicate exists only to keep
+// the import direction cascade ← browser.
+func AppendKey(dst []byte, parent Parent, serial []byte) []byte {
+	dst = append(dst, parent[:]...)
+	i := 0
+	for i < len(serial) && serial[i] == 0 {
+		i++
+	}
+	return append(dst, serial[i:]...)
+}
+
+// BuildConfig parameterizes a cascade build.
+type BuildConfig struct {
+	// Epoch stamps the snapshot's chain position.
+	Epoch uint32
+	// BuiltAt is the snapshot's nominal build time.
+	BuiltAt time.Time
+	// Cutoff gates enrollment: certs with NotBefore at or after it are
+	// not covered. Zero means BuiltAt.
+	Cutoff time.Time
+	// MaxAge is how long clients may treat the snapshot as fresh.
+	// Zero means forever.
+	MaxAge time.Duration
+	// Level1Capacity fixes the level-1 key capacity (and therefore its
+	// size) independently of the current |R|, so a publisher can OR
+	// daily additions into the same bit array. Zero sizes for
+	// 2·|R|+64.
+	Level1Capacity int
+}
+
+func (cfg *BuildConfig) capacity(nRevoked int) int {
+	if cfg.Level1Capacity > 0 {
+		return cfg.Level1Capacity
+	}
+	return 2*nRevoked + 64
+}
+
+// buildDeepLevels constructs levels 2..L given a finished level 1.
+// revoked maps every key of R; visitKnown streams the full known-cert
+// population (revoked certs included — they are skipped by the map).
+// The returned level slice includes lvl1.
+func buildDeepLevels(lvl1 level, revoked map[string]bool, visitKnown func(func(key []byte) bool)) ([]level, error) {
+	levels := []level{lvl1}
+
+	// D2: enrolled non-revoked keys that level 1 wrongly claims. This is
+	// the only pass over the full population; later levels winnow the
+	// two materialized false-positive lists.
+	var fromPop [][]byte // subsets of the population (even levels' D)
+	visitKnown(func(key []byte) bool {
+		if !revoked[string(key)] && lvl1.contains(0, key) {
+			fromPop = append(fromPop, append([]byte(nil), key...))
+		}
+		return true
+	})
+	fromRev := make([][]byte, 0, len(revoked)) // subsets of R (odd levels' D)
+	for k := range revoked {
+		fromRev = append(fromRev, []byte(k))
+	}
+
+	// Alternate: level i holds D_i, the members of D_{i-2} that the
+	// just-built level i-1 wrongly claims.
+	cur := fromPop
+	for len(cur) > 0 {
+		if len(levels) >= maxLevels {
+			return nil, fmt.Errorf("cascade: build exceeded %d levels (hash correlation?)", maxLevels)
+		}
+		salt := byte(len(levels))
+		lv := newLevel(1, sizeDeep(len(cur)))
+		for _, k := range cur {
+			lv.add(salt, k)
+		}
+		levels = append(levels, lv)
+
+		// The next level's candidates are the *other* population: keys
+		// two levels up that the level just built claims.
+		var src [][]byte
+		if len(levels)%2 == 0 { // just built an even level → winnow R-side
+			src = fromRev
+		} else {
+			src = fromPop
+		}
+		next := src[:0:0]
+		for _, k := range src {
+			if lv.contains(salt, k) {
+				next = append(next, k)
+			}
+		}
+		if len(levels)%2 == 0 {
+			fromRev = next
+		} else {
+			fromPop = next
+		}
+		cur = next
+	}
+	return levels, nil
+}
+
+// Build constructs a cascade from scratch: revoked holds every revoked
+// key (AppendKey layout), visitKnown streams every known cert's key
+// (revoked ones included), parents lists the enrolled issuers.
+// The result is exact for every streamed key.
+func Build(revoked [][]byte, visitKnown func(func(key []byte) bool), parents []Parent, cfg BuildConfig) (*Filter, error) {
+	revSet := make(map[string]bool, len(revoked))
+	for _, k := range revoked {
+		revSet[string(k)] = true
+	}
+	lvl1 := newLevel(level1K, sizeLevel1(cfg.capacity(len(revSet))))
+	for k := range revSet {
+		lvl1.add(0, []byte(k))
+	}
+	levels, err := buildDeepLevels(lvl1, revSet, visitKnown)
+	if err != nil {
+		return nil, err
+	}
+	return assemble(levels, revSet, parents, cfg)
+}
+
+// assemble packs built levels plus metadata into a Filter.
+func assemble(levels []level, revoked map[string]bool, parents []Parent, cfg BuildConfig) (*Filter, error) {
+	sorted := make([]Parent, len(parents))
+	copy(sorted, parents)
+	sort.Slice(sorted, func(i, j int) bool {
+		return bytes.Compare(sorted[i][:], sorted[j][:]) < 0
+	})
+	flat := make([]byte, 0, len(sorted)*ParentSize)
+	for i, p := range sorted {
+		if i > 0 && bytes.Equal(sorted[i-1][:], p[:]) {
+			return nil, errors.New("cascade: duplicate parent")
+		}
+		flat = append(flat, p[:]...)
+	}
+	cutoff := cfg.Cutoff
+	if cutoff.IsZero() {
+		cutoff = cfg.BuiltAt
+	}
+	return &Filter{
+		epoch:    cfg.Epoch,
+		builtAt:  cfg.BuiltAt.Unix(),
+		cutoff:   cutoff.Unix(),
+		maxAge:   uint32(cfg.MaxAge / time.Second),
+		nRevoked: uint32(len(revoked)),
+		parents:  flat,
+		levels:   levels,
+	}, nil
+}

@@ -1,0 +1,443 @@
+package cascade
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// synthWorld builds a deterministic synthetic population: nPop keys
+// under nParents issuers, the first nRev of them revoked.
+type synthWorld struct {
+	parents []Parent
+	keys    [][]byte
+	nRev    int
+}
+
+func newSynthWorld(seed int64, nParents, nPop, nRev int) *synthWorld {
+	rng := rand.New(rand.NewSource(seed))
+	w := &synthWorld{nRev: nRev}
+	for i := 0; i < nParents; i++ {
+		var p Parent
+		rng.Read(p[:])
+		w.parents = append(w.parents, p)
+	}
+	for i := 0; i < nPop; i++ {
+		// Nonzero lead byte keeps the serial canonical; the embedded
+		// counter keeps every key distinct.
+		serial := make([]byte, 5)
+		serial[0] = byte(1 + rng.Intn(255))
+		binary.BigEndian.PutUint32(serial[1:], uint32(i))
+		w.keys = append(w.keys, AppendKey(nil, w.parents[rng.Intn(nParents)], serial))
+	}
+	return w
+}
+
+func (w *synthWorld) revoked() [][]byte { return w.keys[:w.nRev] }
+
+func (w *synthWorld) visit(fn func(key []byte) bool) {
+	for _, k := range w.keys {
+		if !fn(k) {
+			return
+		}
+	}
+}
+
+var t0 = time.Date(2015, 3, 1, 0, 0, 0, 0, time.UTC)
+
+// TestBuildExactness is the core zero-FP/zero-FN property on synthetic
+// data: every enrolled key, revoked or not, gets the ground-truth
+// verdict. The population is big enough that level 1 is guaranteed to
+// produce false positives, so the deep levels are actually exercised.
+func TestBuildExactness(t *testing.T) {
+	w := newSynthWorld(1, 8, 30000, 700)
+	f, err := Build(w.revoked(), w.visit, w.parents, BuildConfig{Epoch: 1, BuiltAt: t0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumLevels() < 2 {
+		t.Fatalf("NumLevels = %d; population did not exercise the cascade", f.NumLevels())
+	}
+	for i, k := range w.keys {
+		want := i < w.nRev
+		if got := f.Revoked(k); got != want {
+			t.Fatalf("key %d: Revoked = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	w := newSynthWorld(2, 4, 8000, 300)
+	f, err := Build(w.revoked(), w.visit, w.parents, BuildConfig{
+		Epoch: 7, BuiltAt: t0, MaxAge: 48 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := f.Encode()
+	if len(enc) != f.SizeBytes() {
+		t.Errorf("SizeBytes = %d, encoded %d", f.SizeBytes(), len(enc))
+	}
+	g, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Epoch() != 7 || !g.BuiltAt().Equal(t0) || g.NumRevoked() != 300 ||
+		g.NumParents() != 4 || g.NumLevels() != f.NumLevels() {
+		t.Fatalf("decoded header drift: %+v", g)
+	}
+	for i, k := range w.keys {
+		if g.Revoked(k) != (i < w.nRev) {
+			t.Fatalf("key %d verdict drift after round trip", i)
+		}
+	}
+	if !bytes.Equal(g.Encode(), enc) {
+		t.Fatal("re-encode is not byte-identical")
+	}
+	if !g.FreshAt(t0.Add(47*time.Hour)) || g.FreshAt(t0.Add(49*time.Hour)) {
+		t.Error("FreshAt ignores max-age")
+	}
+}
+
+func TestCoversEnrollment(t *testing.T) {
+	w := newSynthWorld(3, 4, 2000, 50)
+	f, err := Build(w.revoked(), w.visit, w.parents, BuildConfig{Epoch: 1, BuiltAt: t0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range w.parents {
+		if !f.EnrolledParent(p) {
+			t.Fatal("enrolled parent not found")
+		}
+		if !f.Covers(p, t0.Add(-time.Hour)) {
+			t.Error("cert issued before cutoff should be covered")
+		}
+		if f.Covers(p, t0) || f.Covers(p, t0.Add(time.Hour)) {
+			t.Error("cert issued at/after cutoff must not be covered")
+		}
+	}
+	var stranger Parent
+	stranger[0] = 0xfe
+	if f.EnrolledParent(stranger) || f.Covers(stranger, t0.Add(-time.Hour)) {
+		t.Error("unenrolled parent claimed")
+	}
+}
+
+// TestDecodeRejectsCorruption drives the decoder through truncations,
+// bit flips, and CRC-valid-but-semantically-hostile mutations. None may
+// panic; all must error.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	w := newSynthWorld(4, 2, 3000, 100)
+	f, err := Build(w.revoked(), w.visit, w.parents, BuildConfig{Epoch: 1, BuiltAt: t0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := f.Encode()
+
+	for cut := 0; cut < len(enc); cut += 97 {
+		if _, err := Decode(enc[:cut]); err == nil {
+			t.Fatalf("accepted truncation at %d", cut)
+		}
+	}
+	for off := 0; off < len(enc); off += 131 {
+		mut := append([]byte(nil), enc...)
+		mut[off] ^= 0x10
+		if _, err := Decode(mut); err == nil {
+			t.Fatalf("accepted bit flip at %d", off)
+		}
+	}
+	// Semantically hostile with a recomputed (valid) CRC: the decoder
+	// must still reject on structural checks.
+	refence := func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[len(b)-4:], CRC(b[:len(b)-4]))
+		return b
+	}
+	hostile := map[string]func([]byte){
+		"zero levels":     func(b []byte) { binary.LittleEndian.PutUint32(b[37:], 0) },
+		"too many levels": func(b []byte) { binary.LittleEndian.PutUint32(b[37:], 1000) },
+		"huge parents":    func(b []byte) { binary.LittleEndian.PutUint32(b[33:], 1<<23) },
+		"zero hash count": func(b []byte) { binary.LittleEndian.PutUint32(b[headerSize+f.NumParents()*ParentSize:], 0) },
+		"oversized mbits": func(b []byte) {
+			binary.LittleEndian.PutUint64(b[headerSize+f.NumParents()*ParentSize+4:], 1<<60)
+		},
+		"unsorted parents": func(b []byte) {
+			p := b[headerSize : headerSize+2*ParentSize]
+			q := make([]byte, ParentSize)
+			copy(q, p[:ParentSize])
+			copy(p[:ParentSize], p[ParentSize:])
+			copy(p[ParentSize:], q)
+		},
+	}
+	for name, mutate := range hostile {
+		mut := append([]byte(nil), enc...)
+		mutate(mut)
+		if _, err := Decode(refence(mut)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// chainWorld simulates daily churn for publisher tests: a growing
+// population with daily adds and occasional removals.
+func runChain(t *testing.T, days int, cap int, withRemovals bool) (*Publisher, [][]byte, [][]byte, *synthWorld) {
+	t.Helper()
+	w := newSynthWorld(5, 4, 12000, 0)
+	pub := NewPublisher(PublishConfig{
+		Parents:        w.parents,
+		VisitKnown:     w.visit,
+		MaxAge:         72 * time.Hour,
+		Level1Capacity: cap,
+	})
+	rng := rand.New(rand.NewSource(99))
+	var snaps, deltas [][]byte
+	revoked := map[int]bool{}
+	for day := 0; day < days; day++ {
+		var adds, removes [][]byte
+		for i := 0; i < 40; i++ {
+			idx := rng.Intn(len(w.keys))
+			if !revoked[idx] {
+				revoked[idx] = true
+				adds = append(adds, w.keys[idx])
+			}
+		}
+		if withRemovals && day%3 == 2 {
+			n := 0
+			for idx := range revoked {
+				if n >= 10 {
+					break
+				}
+				delete(revoked, idx)
+				removes = append(removes, w.keys[idx])
+				n++
+			}
+		}
+		snap, delta, err := pub.Advance(t0.AddDate(0, 0, day), adds, removes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, snap)
+		if day == 0 {
+			if delta != nil {
+				t.Fatal("first epoch must have no delta")
+			}
+		} else {
+			if delta == nil {
+				t.Fatal("missing delta")
+			}
+			deltas = append(deltas, delta)
+		}
+	}
+	// Ground-truth check on the final snapshot.
+	f, err := Decode(snaps[len(snaps)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx, k := range w.keys {
+		if f.Revoked(k) != revoked[idx] {
+			t.Fatalf("day %d: key %d verdict %v, want %v", days-1, idx, !revoked[idx], revoked[idx])
+		}
+	}
+	return pub, snaps, deltas, w
+}
+
+// TestDeltaChainRoundTrip is the delta round-trip property: applying N
+// daily deltas to the day-0 snapshot yields bytes identical (same FNV
+// digest) to the publisher's fresh day-N snapshot — including with
+// removals in the chain, and across a delta-chain compaction.
+func TestDeltaChainRoundTrip(t *testing.T) {
+	for _, removals := range []bool{false, true} {
+		name := "adds-only"
+		if removals {
+			name = "with-removals"
+		}
+		t.Run(name, func(t *testing.T) {
+			_, snaps, deltas, _ := runChain(t, 8, 2048, removals)
+			cur := snaps[0]
+			for i, d := range deltas {
+				next, err := Apply(cur, d)
+				if err != nil {
+					t.Fatalf("delta %d: %v", i, err)
+				}
+				if !bytes.Equal(next, snaps[i+1]) || Digest(next) != Digest(snaps[i+1]) {
+					t.Fatalf("delta %d: reconstruction not byte-identical", i)
+				}
+				cur = next
+			}
+			// Compaction: one merged delta takes day 0 straight to day N.
+			merged, err := Compact(snaps[0], deltas)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Apply(snaps[0], merged)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if Digest(got) != Digest(snaps[len(snaps)-1]) {
+				t.Fatal("compacted delta does not reproduce the final snapshot")
+			}
+			if len(merged) >= lenSum(deltas) {
+				t.Errorf("compacted delta (%d B) not smaller than chain (%d B)", len(merged), lenSum(deltas))
+			}
+		})
+	}
+}
+
+func lenSum(bs [][]byte) int {
+	n := 0
+	for _, b := range bs {
+		n += len(b)
+	}
+	return n
+}
+
+// TestDeltaFences pins the epoch fence: a delta applied to anything but
+// its exact base errors out instead of corrupting the filter.
+func TestDeltaFences(t *testing.T) {
+	_, snaps, deltas, _ := runChain(t, 4, 2048, false)
+	if _, err := Apply(snaps[0], deltas[1]); err == nil {
+		t.Error("applied day-2 delta to day-0 base")
+	}
+	if _, err := Apply(snaps[2], deltas[0]); err == nil {
+		t.Error("applied day-1 delta to day-2 base")
+	}
+	tampered := append([]byte(nil), snaps[0]...)
+	tampered[headerSize+3] ^= 1
+	if _, err := Apply(tampered, deltas[0]); err == nil {
+		t.Error("applied delta to tampered base")
+	}
+	// Fence skipping via compaction is equally impossible.
+	if _, err := Compact(snaps[1], deltas); err == nil {
+		t.Error("compacted a chain against the wrong base")
+	}
+}
+
+// TestDeltaSizeTracksChurn: a daily delta must be proportional to the
+// day's churn, far below the full snapshot.
+func TestDeltaSizeTracksChurn(t *testing.T) {
+	_, snaps, deltas, _ := runChain(t, 6, 4096, false)
+	full := len(snaps[len(snaps)-1])
+	for i, d := range deltas {
+		if len(d) >= full/2 {
+			t.Errorf("delta %d is %d B, snapshot %d B — not incremental", i, len(d), full)
+		}
+	}
+}
+
+// TestPublisherMatchesBuild: with no removals and no resize, the chain's
+// day-N snapshot must be byte-identical to a from-scratch Build with the
+// same parameters — the incremental path cannot drift.
+func TestPublisherMatchesBuild(t *testing.T) {
+	pub, snaps, _, w := runChain(t, 5, 2048, false)
+	f, err := Decode(snaps[len(snaps)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var revoked [][]byte
+	for _, k := range w.keys {
+		if f.Revoked(k) {
+			revoked = append(revoked, k)
+		}
+	}
+	if len(revoked) != pub.NumRevoked() {
+		t.Fatalf("verdict count %d != publisher set %d", len(revoked), pub.NumRevoked())
+	}
+	fresh, err := Build(revoked, w.visit, w.parents, BuildConfig{
+		Epoch:          pub.Epoch(),
+		BuiltAt:        f.BuiltAt(),
+		MaxAge:         72 * time.Hour,
+		Level1Capacity: 2048,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fresh.Encode(), snaps[len(snaps)-1]) {
+		t.Fatal("incremental snapshot drifted from from-scratch build")
+	}
+}
+
+// TestPublisherResize: outgrowing the level-1 capacity triggers a
+// rebuild that stays exact and keeps the chain appliable.
+func TestPublisherResize(t *testing.T) {
+	w := newSynthWorld(6, 2, 6000, 0)
+	pub := NewPublisher(PublishConfig{Parents: w.parents, VisitKnown: w.visit, Level1Capacity: 64})
+	var snaps, deltas [][]byte
+	for day := 0; day < 4; day++ {
+		adds := w.keys[day*50 : (day+1)*50] // blows through 64 capacity on day 2
+		snap, delta, err := pub.Advance(t0.AddDate(0, 0, day), adds, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, snap)
+		if delta != nil {
+			deltas = append(deltas, delta)
+		}
+	}
+	f, err := Decode(snaps[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range w.keys {
+		if f.Revoked(k) != (i < 200) {
+			t.Fatalf("post-resize verdict drift at key %d", i)
+		}
+	}
+	cur := snaps[0]
+	for i, d := range deltas {
+		if cur, err = Apply(cur, d); err != nil {
+			t.Fatalf("delta %d across resize: %v", i, err)
+		}
+	}
+	if !bytes.Equal(cur, snaps[3]) {
+		t.Fatal("delta chain across resize not byte-identical")
+	}
+}
+
+// TestRemovalFlipsVerdict: removing a key must flip its verdict to Good
+// while the level-1 bits stay untouched (the whitelist path).
+func TestRemovalFlipsVerdict(t *testing.T) {
+	w := newSynthWorld(7, 2, 4000, 0)
+	pub := NewPublisher(PublishConfig{Parents: w.parents, VisitKnown: w.visit, Level1Capacity: 512})
+	victim := w.keys[0]
+	s1, _, err := pub.Advance(t0, [][]byte{victim, w.keys[1]}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, _ := Decode(s1)
+	if !f1.Revoked(victim) {
+		t.Fatal("added key not revoked")
+	}
+	s2, d2, err := pub.Advance(t0.AddDate(0, 0, 1), nil, [][]byte{victim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, _ := Decode(s2)
+	if f2.Revoked(victim) {
+		t.Fatal("removed key still revoked")
+	}
+	if f2.Revoked(w.keys[1]) != true {
+		t.Fatal("unrelated key lost")
+	}
+	info, err := InspectDelta(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Removes != 1 || info.Adds != 0 || info.BaseEpoch != 1 || info.TargetEpoch != 2 {
+		t.Fatalf("delta metadata %+v", info)
+	}
+}
+
+func TestAppendKeyCanonicalizesSerial(t *testing.T) {
+	var p Parent
+	p[0] = 9
+	a := AppendKey(nil, p, []byte{0x00, 0x00, 0x42})
+	b := AppendKey(nil, p, []byte{0x42})
+	z := AppendKey(nil, p, []byte{0x00})
+	if !bytes.Equal(a, b) {
+		t.Error("padded serial maps to a different key")
+	}
+	if len(z) != ParentSize {
+		t.Error("zero serial must contribute no bytes")
+	}
+}

@@ -1,0 +1,152 @@
+package cascade
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+)
+
+// Snapshot wire format "CASC" version 1, little-endian:
+//
+//	magic      "CASC"            4
+//	version    byte              1
+//	epoch      uint32            4
+//	builtUnix  int64             8
+//	cutoffUnix int64             8
+//	maxAgeSecs uint32            4
+//	nRevoked   uint32            4
+//	nParents   uint32            4
+//	nLevels    uint32            4
+//	parents    nParents × 32         strictly ascending
+//	levels     nLevels × {k uint32, mBits uint64, bits ⌈mBits/8⌉}
+//	crc        uint32 (CRC-32C)  4   over everything before it
+//
+// The layout is mmap-friendly: Decode keeps the parent list and each
+// level's bit array as subslices of the input (zero copy), so a client
+// can map the file and probe straight from the page cache.
+const (
+	snapMagic       = "CASC"
+	formatVersion   = 1
+	headerSize      = 4 + 1 + 4 + 8 + 8 + 4 + 4 + 4 + 4
+	levelHeaderSize = 4 + 8
+	crcSize         = 4
+
+	// maxParents and maxLevelBytes bound decoded sizes: a flipped bit in
+	// a count field must be rejected as corruption, not obeyed as an
+	// allocation request. (Decode is zero-copy, but the bounds also stop
+	// absurd probe loops.)
+	maxParents    = 1 << 24
+	maxLevelBytes = 1 << 32
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// CRC returns the CRC-32C of an encoded snapshot (or any byte string).
+// Deltas fence on this value: a delta names the CRC of both its base and
+// its target snapshot files.
+func CRC(data []byte) uint32 { return crc32.Checksum(data, castagnoli) }
+
+// Digest returns an order-sensitive 64-bit digest (FNV-1a) of an encoded
+// artifact; tests and tooling use it to prove byte-identity cheaply.
+func Digest(data []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(data)
+	return h.Sum64()
+}
+
+// Encode serializes the filter in the CASC v1 format.
+func (f *Filter) Encode() []byte {
+	out := make([]byte, 0, f.SizeBytes())
+	out = append(out, snapMagic...)
+	out = append(out, formatVersion)
+	out = binary.LittleEndian.AppendUint32(out, f.epoch)
+	out = binary.LittleEndian.AppendUint64(out, uint64(f.builtAt))
+	out = binary.LittleEndian.AppendUint64(out, uint64(f.cutoff))
+	out = binary.LittleEndian.AppendUint32(out, f.maxAge)
+	out = binary.LittleEndian.AppendUint32(out, f.nRevoked)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(f.parents)/ParentSize))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(f.levels)))
+	out = append(out, f.parents...)
+	for _, l := range f.levels {
+		out = binary.LittleEndian.AppendUint32(out, l.k)
+		out = binary.LittleEndian.AppendUint64(out, l.mBits)
+		out = append(out, l.bits...)
+	}
+	return binary.LittleEndian.AppendUint32(out, CRC(out))
+}
+
+// Decode parses a CASC v1 snapshot. The returned Filter aliases data —
+// the caller must not mutate the buffer while the filter is live. Every
+// structural invariant is checked: any truncation, bit flip (CRC), or
+// semantically hostile field (out-of-range hash counts, unsorted
+// parents, level sizes that disagree with the byte count) is an error,
+// never a panic or a silently wrong filter.
+func Decode(data []byte) (*Filter, error) {
+	if len(data) < headerSize+crcSize {
+		return nil, errors.New("cascade: snapshot too short")
+	}
+	if string(data[:4]) != snapMagic {
+		return nil, errors.New("cascade: bad snapshot magic")
+	}
+	if data[4] != formatVersion {
+		return nil, fmt.Errorf("cascade: unsupported snapshot version %d", data[4])
+	}
+	body, crcField := data[:len(data)-crcSize], data[len(data)-crcSize:]
+	if CRC(body) != binary.LittleEndian.Uint32(crcField) {
+		return nil, errors.New("cascade: snapshot CRC mismatch")
+	}
+	f := &Filter{
+		epoch:    binary.LittleEndian.Uint32(data[5:]),
+		builtAt:  int64(binary.LittleEndian.Uint64(data[9:])),
+		cutoff:   int64(binary.LittleEndian.Uint64(data[17:])),
+		maxAge:   binary.LittleEndian.Uint32(data[25:]),
+		nRevoked: binary.LittleEndian.Uint32(data[29:]),
+	}
+	nParents := binary.LittleEndian.Uint32(data[33:])
+	nLevels := binary.LittleEndian.Uint32(data[37:])
+	if nParents > maxParents {
+		return nil, fmt.Errorf("cascade: implausible parent count %d", nParents)
+	}
+	if nLevels < 1 || nLevels > maxLevels {
+		return nil, fmt.Errorf("cascade: level count %d outside [1,%d]", nLevels, maxLevels)
+	}
+	pos := headerSize
+	pLen := int(nParents) * ParentSize
+	if len(body)-pos < pLen {
+		return nil, errors.New("cascade: truncated parent list")
+	}
+	f.parents = body[pos : pos+pLen]
+	for i := ParentSize; i < pLen; i += ParentSize {
+		if string(f.parents[i-ParentSize:i]) >= string(f.parents[i:i+ParentSize]) {
+			return nil, errors.New("cascade: parent list not strictly ascending")
+		}
+	}
+	pos += pLen
+	f.levels = make([]level, nLevels)
+	for i := range f.levels {
+		if len(body)-pos < levelHeaderSize {
+			return nil, errors.New("cascade: truncated level header")
+		}
+		k := binary.LittleEndian.Uint32(body[pos:])
+		mBits := binary.LittleEndian.Uint64(body[pos+4:])
+		pos += levelHeaderSize
+		if k < 1 || k > maxLevels {
+			return nil, fmt.Errorf("cascade: level %d hash count %d outside [1,%d]", i+1, k, maxLevels)
+		}
+		if mBits < 1 || mBits > maxLevelBytes*8 {
+			return nil, fmt.Errorf("cascade: level %d size %d bits out of range", i+1, mBits)
+		}
+		bLen := int((mBits + 7) / 8)
+		if len(body)-pos < bLen {
+			return nil, errors.New("cascade: truncated level bits")
+		}
+		f.levels[i] = level{k: k, mBits: mBits, bits: body[pos : pos+bLen]}
+		pos += bLen
+	}
+	if pos != len(body) {
+		return nil, errors.New("cascade: trailing bytes after levels")
+	}
+	return f, nil
+}

@@ -1,0 +1,122 @@
+package cascade
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+)
+
+// fuzzArtifacts builds one small publisher chain and returns (base
+// snapshot, next snapshot, the delta between them) as fuzz seed
+// material.
+func fuzzArtifacts(f *testing.F) (snap0, snap1, delta []byte) {
+	f.Helper()
+	w := newSynthWorld(11, 2, 1500, 0)
+	pub := NewPublisher(PublishConfig{
+		Parents:        w.parents,
+		VisitKnown:     w.visit,
+		MaxAge:         48 * time.Hour,
+		Level1Capacity: 256,
+	})
+	snap0, _, err := pub.Advance(t0, w.keys[:60], nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	snap1, delta, err = pub.Advance(t0.AddDate(0, 0, 1), w.keys[60:90], w.keys[:5])
+	if err != nil {
+		f.Fatal(err)
+	}
+	return snap0, snap1, delta
+}
+
+// refence recomputes the trailing CRC so a mutation survives the frame
+// check and exercises the semantic validation behind it.
+func refence(b []byte) []byte {
+	if len(b) >= crcSize {
+		binary.LittleEndian.PutUint32(b[len(b)-crcSize:], CRC(b[:len(b)-crcSize]))
+	}
+	return b
+}
+
+// FuzzCascadeDecode drives both binary decoders (snapshot and delta)
+// plus the delta applier with arbitrary bytes. Invariants: no input may
+// panic; any snapshot that decodes must re-encode byte-identically
+// (decode is strict and canonical — no mutant can decode to a filter
+// whose verdicts differ from its own bytes); any delta that applies
+// must yield the exact fenced target bytes.
+func FuzzCascadeDecode(f *testing.F) {
+	snap0, snap1, delta := fuzzArtifacts(f)
+	f.Add(snap0)
+	f.Add(snap1)
+	f.Add(delta)
+	f.Add(snap0[:headerSize])
+	f.Add(delta[:21])
+	// Semantically hostile but CRC-valid seeds.
+	for _, off := range []int{5, 33, 37, headerSize, len(snap0) - crcSize - 1} {
+		mut := append([]byte(nil), snap0...)
+		mut[off] ^= 0x40
+		f.Add(refence(mut))
+	}
+	for _, off := range []int{5, 9, 13, 17, 22, len(delta) - crcSize - 1} {
+		mut := append([]byte(nil), delta...)
+		mut[off] ^= 0x40
+		f.Add(refence(mut))
+	}
+
+	probe := AppendKey(nil, Parent{0x42}, []byte{0x01, 0x02})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if flt, err := Decode(data); err == nil {
+			_ = flt.Revoked(probe)
+			_ = flt.Covers(Parent{}, t0)
+			_ = flt.FreshAt(t0)
+			if !bytes.Equal(flt.Encode(), data) {
+				t.Fatal("accepted snapshot does not re-encode canonically")
+			}
+		}
+		if _, err := InspectDelta(data); err == nil {
+			if out, err := Apply(snap0, data); err == nil {
+				// The target CRC fence passed, so these must be the
+				// publisher's exact bytes.
+				if !bytes.Equal(out, snap1) {
+					t.Fatal("applied delta produced bytes that are not the fenced target")
+				}
+			}
+		}
+	})
+}
+
+// TestApplyRejectsHostileDeltas re-fences semantically hostile delta
+// mutations (valid trailing CRC, broken content) and demands an error —
+// never a panic, never silently wrong bytes.
+func TestApplyRejectsHostileDeltas(t *testing.T) {
+	w := newSynthWorld(12, 2, 1500, 0)
+	pub := NewPublisher(PublishConfig{Parents: w.parents, VisitKnown: w.visit, Level1Capacity: 256})
+	snap0, _, err := pub.Advance(t0, w.keys[:50], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, delta, err := pub.Advance(t0.AddDate(0, 0, 1), w.keys[50:70], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostile := map[string]func([]byte) []byte{
+		"wrong base epoch":  func(b []byte) []byte { b[5]++; return b },
+		"wrong base crc":    func(b []byte) []byte { b[13]++; return b },
+		"wrong target crc":  func(b []byte) []byte { b[17]++; return b },
+		"bogus op":          func(b []byte) []byte { b[len(b)-crcSize-3] = 0x7f; return b },
+		"truncated patch":   func(b []byte) []byte { return b[:len(b)-crcSize-4] },
+		"flipped add bytes": func(b []byte) []byte { b[30] ^= 0xff; return b },
+		"huge target len": func(b []byte) []byte {
+			// Corrupt a patch-area byte to skew lengths downstream.
+			b[len(b)-crcSize-1] ^= 0xff
+			return b
+		},
+	}
+	for name, mutate := range hostile {
+		mut := refence(mutate(append([]byte(nil), delta...)))
+		if out, err := Apply(snap0, mut); err == nil {
+			t.Errorf("%s: applied, %d bytes out", name, len(out))
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package cascade
+
+import (
+	"fmt"
+	"time"
+)
+
+// PublishConfig parameterizes a Publisher.
+type PublishConfig struct {
+	// Parents lists the enrolled issuers. Fixed for the chain's life.
+	Parents []Parent
+	// VisitKnown streams every known certificate key (revoked certs
+	// included); called once per Advance to enumerate level-1 false
+	// positives. The callback may retain nothing — keys are copied when
+	// needed.
+	VisitKnown func(fn func(key []byte) bool)
+	// MaxAge stamps each snapshot's freshness window. Zero = forever.
+	MaxAge time.Duration
+	// Level1Capacity is the initial level-1 key capacity. The level-1
+	// bit array is sized once from it and daily additions are OR'd in
+	// place, keeping day-to-day deltas proportional to churn; when
+	// lifetime insertions outgrow the capacity the publisher resizes
+	// (a full rebuild and a large one-time delta). Zero defaults to
+	// 4096.
+	Level1Capacity int
+}
+
+// Publisher maintains a daily cascade chain: one call to Advance per
+// epoch yields the full snapshot and a delta against the previous one.
+type Publisher struct {
+	cfg     PublishConfig
+	epoch   uint32
+	revoked map[string]bool // current R
+	lvl1    level           // accumulated; params fixed between resizes
+	// inserted counts distinct keys ever OR'd into lvl1 — removals keep
+	// their bits, so fill (and the FP rate driving level-2 size) tracks
+	// lifetime insertions, not |R|.
+	inserted int
+	capacity int
+	prev     []byte // previous epoch's encoded snapshot
+}
+
+// NewPublisher creates an empty chain. The first Advance produces
+// epoch 1 with no delta.
+func NewPublisher(cfg PublishConfig) *Publisher {
+	cap := cfg.Level1Capacity
+	if cap <= 0 {
+		cap = 4096
+	}
+	return &Publisher{
+		cfg:      cfg,
+		revoked:  make(map[string]bool),
+		lvl1:     newLevel(level1K, sizeLevel1(cap)),
+		capacity: cap,
+	}
+}
+
+// Epoch returns the last published epoch (0 before the first Advance).
+func (p *Publisher) Epoch() uint32 { return p.epoch }
+
+// NumRevoked returns the current revoked-set size.
+func (p *Publisher) NumRevoked() int { return len(p.revoked) }
+
+// Snapshot returns the last published snapshot bytes (nil before the
+// first Advance). Callers must not mutate it.
+func (p *Publisher) Snapshot() []byte { return p.prev }
+
+// Advance publishes the next epoch: adds and removes are the day's
+// revocation churn (cascade keys, AppendKey layout). It returns the
+// full snapshot and a delta from the previous epoch's snapshot (nil for
+// the first epoch). The snapshot is the canonical artifact: applying
+// the delta chain client-side reconstructs these exact bytes, fenced by
+// CRC at every hop.
+//
+// Additions are OR'd into the fixed-size level 1. Removals only shrink
+// the revoked set — their level-1 bits stay, turning the removed keys
+// into level-1 false positives that the rebuilt level 2 whitelists, so
+// the verdict flips to Good without touching level-1 bytes. The small
+// deep levels are rebuilt from scratch every epoch.
+func (p *Publisher) Advance(now time.Time, adds, removes [][]byte) (snapshot, deltaBytes []byte, err error) {
+	var addedKeys, removedKeys [][]byte // net-new churn, for the delta's metadata
+	for _, k := range adds {
+		if p.revoked[string(k)] {
+			continue
+		}
+		p.revoked[string(k)] = true
+		p.lvl1.add(0, k)
+		p.inserted++
+		addedKeys = append(addedKeys, k)
+	}
+	for _, k := range removes {
+		if !p.revoked[string(k)] {
+			continue
+		}
+		delete(p.revoked, string(k))
+		removedKeys = append(removedKeys, k)
+	}
+	if p.inserted > p.capacity {
+		// Outgrown: rebuild level 1 from the live set at double the
+		// need. Clears removed keys' stale bits as a side effect. The
+		// next delta is near-full-size — rare by construction.
+		p.capacity = 2*p.inserted + 64
+		p.lvl1 = newLevel(level1K, sizeLevel1(p.capacity))
+		for k := range p.revoked {
+			p.lvl1.add(0, []byte(k))
+		}
+		p.inserted = len(p.revoked)
+	}
+
+	levels, err := buildDeepLevels(p.lvl1, p.revoked, p.cfg.VisitKnown)
+	if err != nil {
+		return nil, nil, err
+	}
+	p.epoch++
+	f, err := assemble(levels, p.revoked, p.cfg.Parents, BuildConfig{
+		Epoch:   p.epoch,
+		BuiltAt: now,
+		MaxAge:  p.cfg.MaxAge,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	// The filter built for encoding must not alias p.lvl1's live bits —
+	// Encode copies, but the in-memory levels slice shares lvl1. That is
+	// fine: lvl1 only ever gains bits before the *next* Encode, and the
+	// returned snapshot is a fresh byte slice.
+	snapshot = f.Encode()
+	if p.prev != nil {
+		deltaBytes, err = MakeDelta(p.prev, snapshot, addedKeys, removedKeys)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cascade: epoch %d delta: %w", p.epoch, err)
+		}
+	}
+	p.prev = snapshot
+	return snapshot, deltaBytes, nil
+}

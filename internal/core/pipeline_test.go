@@ -20,7 +20,7 @@ func TestRunStudyEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 23 {
+	if len(results) != 24 {
 		t.Fatalf("results = %d", len(results))
 	}
 	// At very small scales some shape checks can get noisy; the pipeline

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math/big"
 	"sort"
+
+	"repro/internal/serialx"
 )
 
 // MaxBytes is Google's documented cap on the CRLSet file size.
@@ -49,9 +51,13 @@ func (s *Set) Add(p Parent, serial *big.Int) {
 }
 
 // AddSerial is Add keyed by the compact big-endian serial magnitude (what
-// crl.Entry.Serial holds). The bytes are interned on first insertion; the
+// crl.Entry.Serial holds). The serial is canonicalized first (leading
+// zero octets stripped, the zero serial stored as the empty string —
+// serialx.Canon), so two encodings of the same serial value always land
+// on the same entry. The bytes are interned on first insertion; the
 // duplicate check does not allocate.
 func (s *Set) AddSerial(p Parent, serial []byte) {
+	serial = serialx.Canon(serial)
 	set, known := s.lookup[p]
 	if !known {
 		set = make(map[string]bool)
@@ -85,9 +91,10 @@ func (s *Set) Covers(p Parent, serial *big.Int) bool {
 }
 
 // CoversSerial is Covers keyed by the compact serial magnitude; it does
-// not allocate.
+// not allocate. The probe is canonicalized exactly like AddSerial, so a
+// leading-zero or zero-length encoding of a stored serial still matches.
 func (s *Set) CoversSerial(p Parent, serial []byte) bool {
-	return s.lookup[p][string(serial)]
+	return s.lookup[p][string(serialx.Canon(serial))]
 }
 
 // HasParent reports whether any entry exists for parent p.
@@ -225,7 +232,10 @@ func Parse(data []byte) (*Set, error) {
 			if pos+n > len(data) {
 				return nil, errors.New("crlset: truncated serial")
 			}
-			key := string(data[pos : pos+n])
+			// Canonicalize on ingest: a file encoding the same serial
+			// value with leading zeros must land on the same entry a
+			// canonical probe looks up.
+			key := string(serialx.Canon(data[pos : pos+n]))
 			list = append(list, key)
 			set[key] = true
 			pos += n

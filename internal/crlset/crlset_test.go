@@ -39,6 +39,73 @@ func TestSetBasics(t *testing.T) {
 	}
 }
 
+// TestSerialCanonicalization pins the documented AddSerial/CoversSerial
+// semantics for degenerate encodings: entries are keyed by the serial
+// *value* (serialx.Canon form), so zero-length, single-zero, and
+// leading-zero encodings of the same value are one entry, on both the
+// insert and the probe side, and survive a Marshal/Parse round trip.
+func TestSerialCanonicalization(t *testing.T) {
+	p := parent(1)
+	cases := []struct {
+		name   string
+		stored []byte   // encoding handed to AddSerial
+		hits   [][]byte // probes that must report covered
+		misses [][]byte // probes that must not
+	}{
+		{
+			name:   "leading-zero insert, canonical probe",
+			stored: []byte{0x00, 0x05},
+			hits:   [][]byte{{0x05}, {0x00, 0x05}, {0x00, 0x00, 0x05}},
+			misses: [][]byte{{0x05, 0x00}, {}, nil},
+		},
+		{
+			name:   "canonical insert, padded probe",
+			stored: []byte{0x81, 0x02},
+			hits:   [][]byte{{0x81, 0x02}, {0x00, 0x81, 0x02}},
+			misses: [][]byte{{0x81}, {0x02}},
+		},
+		{
+			name:   "zero serial in every encoding",
+			stored: []byte{0x00},
+			hits:   [][]byte{nil, {}, {0x00}, {0x00, 0x00}},
+			misses: [][]byte{{0x01}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewSet(1)
+			s.AddSerial(p, tc.stored)
+			// A differently-padded duplicate must not create a second entry.
+			s.AddSerial(p, append([]byte{0x00}, tc.stored...))
+			if s.NumEntries() != 1 {
+				t.Fatalf("NumEntries = %d after duplicate encodings", s.NumEntries())
+			}
+			check := func(set *Set, label string) {
+				for _, probe := range tc.hits {
+					if !set.CoversSerial(p, probe) {
+						t.Errorf("%s: CoversSerial(%x) = false, want true", label, probe)
+					}
+				}
+				for _, probe := range tc.misses {
+					if set.CoversSerial(p, probe) {
+						t.Errorf("%s: CoversSerial(%x) = true, want false", label, probe)
+					}
+				}
+			}
+			check(s, "built")
+			data, err := s.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			parsed, err := Parse(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check(parsed, "parsed")
+		})
+	}
+}
+
 func TestMarshalParseRoundTrip(t *testing.T) {
 	s := NewSet(42)
 	for i := byte(1); i <= 3; i++ {

@@ -39,6 +39,7 @@ func (r *Runner) All() ([]*Result, error) {
 		Availability,
 		ExtensionMultiStaple,
 		func() (*Result, error) { return ExtensionShortLived(), nil },
+		r.CascadeBandwidth,
 	}
 
 	workers := r.Concurrency

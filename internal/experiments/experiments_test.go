@@ -37,8 +37,8 @@ func TestEveryExperimentMatchesPaperShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 23 {
-		t.Fatalf("experiments = %d, want 23", len(results))
+	if len(results) != 24 {
+		t.Fatalf("experiments = %d, want 24", len(results))
 	}
 	seen := map[string]bool{}
 	for _, res := range results {
@@ -55,7 +55,7 @@ func TestEveryExperimentMatchesPaperShape(t *testing.T) {
 			}
 		}
 	}
-	for _, id := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table1", "table2", "sec3", "sec4.3", "sec7.2", "ext-rfc6961", "ext-shortlived", "availability"} {
+	for _, id := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table1", "table2", "sec3", "sec4.3", "sec7.2", "ext-rfc6961", "ext-shortlived", "ext-cascade", "availability"} {
 		if !seen[id] {
 			t.Errorf("experiment %s missing", id)
 		}

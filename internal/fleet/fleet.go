@@ -20,6 +20,7 @@ import (
 	"repro/internal/bloom"
 	"repro/internal/browser"
 	"repro/internal/ca"
+	"repro/internal/cascade"
 	"repro/internal/crl"
 	"repro/internal/crlset"
 	"repro/internal/simnet"
@@ -114,6 +115,9 @@ type World struct {
 	CRLSet *crlset.Set
 	// Bloom holds BloomKey(parent, serial) for every revoked leaf.
 	Bloom *bloom.Filter
+	// Cascade is the CRLite-style filter cascade over the whole leaf
+	// population: exact offline verdicts for every leaf, revoked or not.
+	Cascade *cascade.Filter
 
 	crlOnlyChain int       // index of a CRL-only leaf, for the stampede
 	plans        [][]int32 // per-browser chain-index sequences
@@ -190,6 +194,27 @@ func New(cfg Config) (*World, error) {
 		w.Bloom.Add(browser.BloomKey(nil, parent, rec.Serial.Bytes()))
 	}
 
+	// Filter cascade over the full population: exact for every leaf.
+	var revokedKeys [][]byte
+	for i := cfg.Certs - nRevoked; i < cfg.Certs; i++ {
+		revokedKeys = append(revokedKeys, cascade.AppendKey(nil, cascade.Parent(parent), w.Records[i].Serial.Bytes()))
+	}
+	visit := func(fn func(key []byte) bool) {
+		var buf [56]byte
+		for _, rec := range w.Records {
+			if !fn(cascade.AppendKey(buf[:0], cascade.Parent(parent), rec.Serial.Bytes())) {
+				return
+			}
+		}
+	}
+	w.Cascade, err = cascade.Build(revokedKeys, visit, []cascade.Parent{cascade.Parent(parent)}, cascade.BuildConfig{
+		Epoch:   1,
+		BuiltAt: clock.Now(),
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	// Per-browser plans: browser b's sequence depends only on (Seed, b),
 	// never on scheduling, which is what makes fleet aggregates
 	// worker-count independent.
@@ -228,6 +253,9 @@ type RunOptions struct {
 	CRLSet bool
 	// Bloom installs the world's Bloom filter as the client's fast path.
 	Bloom bool
+	// Cascade installs the world's filter cascade as the authoritative
+	// offline fast path (consulted before CRLSet/Bloom).
+	Cascade bool
 }
 
 // Result aggregates one fleet run.
@@ -306,6 +334,9 @@ func (w *World) Run(opt RunOptions) (Result, error) {
 	if opt.Bloom {
 		client.Bloom = w.Bloom
 	}
+	if opt.Cascade {
+		client.Cascade = w.Cascade
+	}
 
 	aggs := make([]browserAgg, w.Cfg.Browsers)
 	netBefore := w.Net.TotalStats()
@@ -378,6 +409,9 @@ func (w *World) Run(opt RunOptions) (Result, error) {
 		hashField(agg.warns)
 		hashField(agg.rejects)
 		hashField(agg.detected)
+		hashField(uint32(agg.fast.CascadeHits))
+		hashField(uint32(agg.fast.CascadeMisses))
+		hashField(uint32(agg.fast.CascadeStale))
 		hashField(uint32(agg.fast.CRLSetHits))
 		hashField(uint32(agg.fast.CRLSetMisses))
 		hashField(uint32(agg.fast.BloomNegatives))

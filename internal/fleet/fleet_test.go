@@ -184,3 +184,41 @@ func TestStampedeCollapsesToOneFetch(t *testing.T) {
 		t.Errorf("fabric saw %d requests, want 1", res.NetRequests)
 	}
 }
+
+func TestCascadeFastPathFullyOffline(t *testing.T) {
+	w := testWorld(t, Config{Browsers: 12, Certs: 32, EvalsPerBrowser: 8, Seed: 8})
+	res, err := w.Run(RunOptions{Workers: 3, Cascade: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NetRequests != 0 {
+		t.Errorf("cascade fleet made %d network requests, want 0", res.NetRequests)
+	}
+	if res.FastPath.CascadeHits != res.Verdicts {
+		t.Errorf("CascadeHits = %d, want %d (every verdict local)", res.FastPath.CascadeHits, res.Verdicts)
+	}
+	// The cascade must agree with the online protocols on every outcome —
+	// it is exact, not probabilistic.
+	online, err := w.Run(RunOptions{Workers: 3, Store: browser.NewCache()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejects != online.Rejects || res.RevocationsDetected != online.RevocationsDetected {
+		t.Errorf("cascade outcomes %+v disagree with online %+v", res, online)
+	}
+}
+
+func TestCascadeDeterminismAcrossWorkers(t *testing.T) {
+	w := testWorld(t, Config{Browsers: 16, Certs: 48, EvalsPerBrowser: 6, Seed: 9})
+	var digests []uint64
+	for _, workers := range []int{1, 4} {
+		res, err := w.Run(RunOptions{Workers: workers, Cascade: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		digests = append(digests, res.Digest)
+	}
+	if digests[0] != digests[1] {
+		t.Errorf("cascade digests differ across workers: %x vs %x", digests[0], digests[1])
+	}
+}

@@ -1,0 +1,61 @@
+package testsuite
+
+import (
+	"repro/internal/cascade"
+	"repro/internal/ocsp"
+	"repro/internal/x509x"
+)
+
+// RevokedElement returns the chain index a case's ground truth marks
+// revoked, or -1 when nothing is. This restates the buildCase side
+// effects declaratively: CondRevoked and CondFallbackRevoked revoke the
+// target element; a CondStaple case with a revoked staple status really
+// revokes the leaf in its issuing CA.
+func RevokedElement(c *Case) int {
+	switch c.Condition {
+	case CondRevoked, CondFallbackRevoked:
+		return c.Target
+	case CondStaple:
+		if c.StapleStatus == ocsp.StatusRevoked {
+			return 0
+		}
+	}
+	return -1
+}
+
+// BuildCascade assembles a filter cascade over the whole suite: every
+// issuing CA of every case is an enrolled parent, the known-cert
+// population is every checked chain element (everything below the root),
+// and the revoked set is derived from each case's declared condition via
+// RevokedElement. The result is the aggregator-side artifact a CRLite
+// client of this suite's PKI would download — exact for every chain the
+// suite can present.
+func (s *Suite) BuildCascade(cfg cascade.BuildConfig) (*cascade.Filter, error) {
+	seen := make(map[cascade.Parent]bool)
+	var parents []cascade.Parent
+	var population, revoked [][]byte
+	for _, c := range s.Cases {
+		env := s.Envs[c.ID]
+		rev := RevokedElement(c)
+		for e := 0; e+1 < len(env.Chain); e++ {
+			p := cascade.Parent(x509x.SPKIHash(env.Chain[e+1].RawSPKI))
+			if !seen[p] {
+				seen[p] = true
+				parents = append(parents, p)
+			}
+			key := cascade.AppendKey(nil, p, env.Chain[e].SerialNumber.Bytes())
+			population = append(population, key)
+			if e == rev {
+				revoked = append(revoked, key)
+			}
+		}
+	}
+	visit := func(fn func(key []byte) bool) {
+		for _, k := range population {
+			if !fn(k) {
+				return
+			}
+		}
+	}
+	return cascade.Build(revoked, visit, parents, cfg)
+}

@@ -1,0 +1,138 @@
+package testsuite
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/browser"
+	"repro/internal/cascade"
+)
+
+// freshCascade builds a suite-wide cascade that is valid at the suite
+// clock's current time.
+func freshCascade(t *testing.T, s *Suite) *cascade.Filter {
+	t.Helper()
+	f, err := s.BuildCascade(cascade.BuildConfig{
+		Epoch:   1,
+		BuiltAt: s.Clock.Now(),
+		MaxAge:  48 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestCascadeMatrixOffline runs the full 250-case battery against a
+// hard-fail profile carrying a fresh suite-wide cascade. The cascade is
+// authoritative for every chain the suite presents, so the expected
+// outcome of every case collapses to its ground truth — revoked element
+// anywhere means Reject, otherwise Accept — with zero network requests.
+// In particular the responder-down cases (nxdomain / 404 / unresponsive)
+// are all answered: the offline artifact does not care that the
+// infrastructure it replaces is broken.
+func TestCascadeMatrixOffline(t *testing.T) {
+	s := sharedSuite(t)
+	f := freshCascade(t, s)
+
+	before := s.Net.TotalStats().Requests
+	rep, err := s.RunCascade(browser.Hardened(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Net.TotalStats().Requests - before; got != 0 {
+		t.Errorf("cascade run made %d network requests, want 0", got)
+	}
+
+	unavailableAnswered := 0
+	for _, c := range s.Cases {
+		want := browser.OutcomeAccept
+		if RevokedElement(c) >= 0 {
+			want = browser.OutcomeReject
+		}
+		got, ok := rep.Outcomes[c.ID]
+		if !ok {
+			t.Fatalf("case %s missing from report", c.ID)
+		}
+		if got != want {
+			t.Errorf("%s: outcome %v, ground truth implies %v", c.ID, got, want)
+		}
+		if c.Condition == CondUnavailable && got == browser.OutcomeAccept {
+			unavailableAnswered++
+		}
+	}
+	if unavailableAnswered == 0 {
+		t.Error("no responder-down case was answered offline")
+	}
+}
+
+// TestCascadeStaleFallsBackToNetwork installs a cascade whose snapshot
+// has outlived its max-age: the engine must skip it entirely, so every
+// case's outcome must match the plain no-cascade run of the same
+// profile, for a hard-fail, a soft-fail, and an EV-split profile alike.
+func TestCascadeStaleFallsBackToNetwork(t *testing.T) {
+	s := sharedSuite(t)
+	stale, err := s.BuildCascade(cascade.BuildConfig{
+		Epoch:   1,
+		BuiltAt: s.Clock.Now().Add(-72 * time.Hour),
+		MaxAge:  24 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stale.FreshAt(s.Clock.Now()) {
+		t.Fatal("test cascade is not actually stale")
+	}
+
+	profiles := []*browser.Profile{browser.Hardened()}
+	for _, p := range browser.All()[:2] {
+		profiles = append(profiles, p)
+	}
+	for _, p := range profiles {
+		base, err := s.Run(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		got, err := s.RunCascade(p, stale)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		for _, c := range s.Cases {
+			if got.Outcomes[c.ID] != base.Outcomes[c.ID] {
+				t.Errorf("%s / %s: stale-cascade outcome %v, baseline %v",
+					p.Name, c.ID, got.Outcomes[c.ID], base.Outcomes[c.ID])
+			}
+		}
+	}
+}
+
+// TestCascadeMatrixDeterministic pins both layers of determinism: the
+// suite-wide cascade encodes to identical bytes on every build, and two
+// cascade-enabled runs of the full battery produce identical outcome
+// maps.
+func TestCascadeMatrixDeterministic(t *testing.T) {
+	s := sharedSuite(t)
+	a := freshCascade(t, s)
+	b := freshCascade(t, s)
+	if !bytes.Equal(a.Encode(), b.Encode()) {
+		t.Fatal("suite cascade builds are not byte-identical")
+	}
+
+	rep1, err := s.RunCascade(browser.Hardened(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := s.RunCascade(browser.Hardened(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep1.Outcomes) != len(rep2.Outcomes) {
+		t.Fatalf("outcome counts differ: %d vs %d", len(rep1.Outcomes), len(rep2.Outcomes))
+	}
+	for id, o := range rep1.Outcomes {
+		if rep2.Outcomes[id] != o {
+			t.Errorf("%s: run 1 %v, run 2 %v", id, o, rep2.Outcomes[id])
+		}
+	}
+}

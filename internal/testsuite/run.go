@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/browser"
+	"repro/internal/cascade"
 	"repro/internal/ocsp"
 )
 
@@ -40,7 +41,19 @@ type Report struct {
 
 // Run evaluates a profile against every case in the suite.
 func (s *Suite) Run(p *browser.Profile) (*Report, error) {
-	client := &browser.Client{Profile: p, HTTP: s.Client(), Now: s.Clock.Now, Timeout: 5 * time.Second}
+	return s.run(&browser.Client{Profile: p, HTTP: s.Client(), Now: s.Clock.Now, Timeout: 5 * time.Second})
+}
+
+// RunCascade evaluates a profile with a filter cascade installed as the
+// client's local artifact — the fully offline CRLite-style path. A stale
+// cascade (per FreshAt) is skipped by the engine, so outcomes degrade to
+// exactly what plain Run produces.
+func (s *Suite) RunCascade(p *browser.Profile, f *cascade.Filter) (*Report, error) {
+	return s.run(&browser.Client{Profile: p, HTTP: s.Client(), Now: s.Clock.Now, Timeout: 5 * time.Second, Cascade: f})
+}
+
+func (s *Suite) run(client *browser.Client) (*Report, error) {
+	p := client.Profile
 	rep := &Report{Profile: p, Outcomes: make(map[string]browser.Outcome, len(s.Cases))}
 	for _, c := range s.Cases {
 		env := s.Envs[c.ID]
