@@ -27,7 +27,7 @@ race:
 # crawler pool, fault injector, sharded browser cache, fleet driver,
 # revocation store backends).
 race-hot:
-	$(GO) test -race ./internal/ocsp ./internal/crawler ./internal/faultnet/... ./internal/browser ./internal/fleet ./internal/revdb ./internal/revdb/segdb ./internal/corpus ./internal/workload ./internal/cascade
+	$(GO) test -race ./internal/ocsp ./internal/crawler ./internal/faultnet/... ./internal/browser ./internal/fleet ./internal/revdb ./internal/revdb/segdb ./internal/corpus ./internal/workload ./internal/cascade ./internal/ribbon
 
 # chaos runs the seeded fault-injection differential harness: fixed seeds,
 # each played twice faulted and once clean, asserting determinism,
@@ -42,6 +42,7 @@ fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzParseCRL -fuzztime=10s ./internal/crl
 	$(GO) test -run='^$$' -fuzz=FuzzParseCRLSet -fuzztime=10s ./internal/crlset
 	$(GO) test -run='^$$' -fuzz=FuzzCascadeDecode -fuzztime=10s ./internal/cascade
+	$(GO) test -run='^$$' -fuzz=FuzzRibbonDecode -fuzztime=10s ./internal/ribbon
 
 # bench-smoke builds one world end to end under the benchmark harness —
 # enough to catch pipeline regressions without paying for stable timings.
@@ -109,15 +110,19 @@ bench-world:
 bench-world-check:
 	$(GO) run ./cmd/benchworld -check BENCH_pr7.json -quick
 
-# bench-cascade regenerates BENCH_pr8.json: the filter-cascade record
-# (snapshot + daily-delta bytes/day/client vs CRLSet vs raw CRLs, the
-# zero-FP/zero-FN exactness audit, and the fully-offline fleet phase).
+# bench-cascade regenerates BENCH_pr9.json: the filter-cascade record
+# (snapshot + daily-delta bytes/day/client vs CRLSet vs raw CRLs for both
+# the Bloom and ribbon level families, the per-issuer sharded ribbon
+# chain, the zero-FP/zero-FN exactness audits, and the fully-offline
+# fleet phases for all three installed representations).
 bench-cascade:
-	$(GO) run ./cmd/benchcascade -o BENCH_pr8.json
+	$(GO) run ./cmd/benchcascade -o BENCH_pr9.json
 
 # bench-cascade-check is the regression gate in `make check`: it re-runs
 # the publisher and offline-fleet phases on a small world and fails if
 # any gate (bandwidth ratios, exact coverage, offline allocs/verdict,
-# zero network) breaks or allocs regress against BENCH_pr8.json.
+# zero network, ribbon snapshot <=0.70x Bloom, sharded ribbon below the
+# CRLSet budget, ribbon probes within 2x Bloom ns/verdict, equal fleet
+# digests) breaks or allocs regress against BENCH_pr9.json.
 bench-cascade-check:
-	$(GO) run ./cmd/benchcascade -check BENCH_pr8.json -quick
+	$(GO) run ./cmd/benchcascade -check BENCH_pr9.json -quick

@@ -161,6 +161,13 @@ type Client struct {
 	// corpus, where the CRLSet covers <1%. A stale snapshot (past its
 	// max-age) is skipped entirely and checking falls through.
 	Cascade *cascade.Filter
+	// CascadeShards, when non-nil, is the per-issuer sharded form of the
+	// cascade: the client installed only the shards of issuers it trusts
+	// (via a signed manifest — cascade.InstallShards), so verdicts route
+	// to the issuer's own shard and freshness is tracked per shard.
+	// Consulted before the monolithic Cascade; an issuer with no
+	// installed shard falls through to it (and then to the network).
+	CascadeShards *cascade.ShardSet
 	// CRLSet, when non-nil, is consulted as a Chrome-style local fast
 	// path before any staple or network fetch (§7): for issuers the set
 	// covers it answers revoked-or-not authoritatively without network
@@ -353,12 +360,38 @@ func (c *Client) EvaluateInto(v *Verdict, chainCerts []*x509x.Certificate, stapl
 // (cert, issuer). decided is true when the artifacts answered the
 // revocation question and no staple or network check should run.
 func (c *Client) localFastPath(v *Verdict, cert, issuer *x509x.Certificate, pos Position) (status, bool) {
-	if c.Cascade == nil && c.CRLSet == nil && c.Bloom == nil {
+	if c.Cascade == nil && c.CascadeShards == nil && c.CRLSet == nil && c.Bloom == nil {
 		return stUnavailable, false
 	}
 	var keyBuf [56]byte // 32-byte parent + serials up to 20 bytes (RFC 5280 §4.1.2.2)
 	parent := crlset.Parent(x509x.SPKIHash(issuer.RawSPKI))
 	serial := appendSerial(keyBuf[32:32], cert.SerialNumber)
+
+	if c.CascadeShards != nil {
+		p := cascade.Parent(parent)
+		if sh := c.CascadeShards.Shard(p); sh == nil {
+			// Untrusted or never-fetched issuer: no local verdict, fall
+			// through (monolithic cascade, CRLSet, then the network).
+			v.FastPath.CascadeMisses++
+		} else if !c.CascadeShards.FreshAt(p, c.now()) {
+			// Per-shard freshness: one stale issuer must not disable the
+			// rest of the install.
+			v.FastPath.CascadeStale++
+			c.log(v, cert, pos, "cascade-shard", "stale")
+		} else if sh.Covers(p, cert.NotBefore) {
+			v.FastPath.CascadeHits++
+			key := keyBuf[:32+len(serial)]
+			copy(key, parent[:])
+			if c.CascadeShards.Revoked(key) {
+				c.log(v, cert, pos, "cascade-shard", "revoked")
+				return stRevoked, true
+			}
+			c.log(v, cert, pos, "cascade-shard", "good")
+			return stGood, true
+		} else {
+			v.FastPath.CascadeMisses++
+		}
+	}
 
 	if c.Cascade != nil {
 		if !c.Cascade.FreshAt(c.now()) {

@@ -2,6 +2,7 @@ package browser
 
 import (
 	"bytes"
+	"crypto/ed25519"
 	"testing"
 	"time"
 
@@ -268,5 +269,129 @@ func TestCascadeKeyMatchesBloomKey(t *testing.T) {
 		if !bytes.Equal(a, b) {
 			t.Errorf("key drift for serial %x: bloom %x, cascade %x", serial, a, b)
 		}
+	}
+}
+
+// buildShardInstall builds one ribbon-level shard per issuer in the
+// chain, pins them all under a signed manifest, and installs only the
+// shards the trust predicate accepts — the full client-side path for a
+// sharded cascade (cascade.InstallShards).
+func buildShardInstall(t *testing.T, chain []*x509x.Certificate, revokedSerials [][]byte, now time.Time, trusted func(cascade.Parent) bool) *cascade.ShardSet {
+	t.Helper()
+	parents := coveredParents(chain)
+	order := make([]cascade.Parent, len(parents))
+	for i, p := range parents {
+		order[i] = cascade.Parent(p)
+	}
+	cascade.SortParents(order)
+	snaps := make(map[cascade.Parent][]byte)
+	m := &cascade.Manifest{Epoch: 1, BuiltAt: now}
+	for _, p := range order {
+		var revoked [][]byte
+		if p == cascade.Parent(parents[0]) { // the leaf's issuer owns the revocations
+			for _, s := range revokedSerials {
+				revoked = append(revoked, cascade.AppendKey(nil, p, s))
+			}
+		}
+		parent := p
+		visit := func(fn func(key []byte) bool) {
+			for _, k := range revoked {
+				if !fn(k) {
+					return
+				}
+			}
+			for i := 0; i < 400; i++ {
+				serial := []byte{0x55, byte(i >> 8), byte(i)}
+				if !fn(cascade.AppendKey(nil, parent, serial)) {
+					return
+				}
+			}
+		}
+		f, err := cascade.Build(revoked, visit, []cascade.Parent{p}, cascade.BuildConfig{
+			Epoch: 1, BuiltAt: now, MaxAge: 48 * time.Hour, LevelKind: cascade.KindRibbon,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := f.Encode()
+		snaps[p] = enc
+		m.Shards = append(m.Shards, cascade.ShardEntry{
+			Parent: p, Epoch: 1, SnapshotCRC: cascade.CRC(enc), SnapshotLen: uint32(len(enc)),
+		})
+	}
+	priv := cascade.ManifestKeyFromSeed(99)
+	raw, err := m.Sign(priv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verified, err := cascade.VerifyManifest(raw, priv.Public().(ed25519.PublicKey))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := cascade.InstallShards(verified, snaps, trusted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestCascadeShardsFastPath: a full sharded install answers both leaves
+// offline through the issuer's own shard, exactly like the monolithic
+// cascade.
+func TestCascadeShardsFastPath(t *testing.T) {
+	w := newWorld(t, ocspOnly)
+	revokedChain, rec := w.leaf(false)
+	if err := w.inter.Revoke(rec.Serial, w.clock.Now(), crl.ReasonKeyCompromise); err != nil {
+		t.Fatal(err)
+	}
+	goodChain, _ := w.leaf(false)
+
+	client := w.client(Hardened())
+	client.CascadeShards = buildShardInstall(t, revokedChain, [][]byte{rec.Serial.Bytes()}, w.clock.Now(), nil)
+
+	v := mustEval(t, client, revokedChain)
+	if v.Outcome != OutcomeReject || !v.RevocationDetected {
+		t.Errorf("shard-revoked leaf: %+v", v)
+	}
+	if v.FastPath.CascadeHits == 0 {
+		t.Errorf("no cascade hits attributed: %+v", v.FastPath)
+	}
+	v = mustEval(t, client, goodChain)
+	if v.Outcome != OutcomeAccept {
+		t.Errorf("good leaf: %+v", v)
+	}
+	if got := w.net.TotalStats().Requests; got != 0 {
+		t.Errorf("full shard install made %d network requests", got)
+	}
+}
+
+// TestCascadeShardsTrustFiltering: with only the leaf issuer's shard
+// installed, the leaf is answered locally while the intermediate (whose
+// issuer the client did not trust) falls back to the network.
+func TestCascadeShardsTrustFiltering(t *testing.T) {
+	w := newWorld(t, ocspOnly)
+	chain, _ := w.leaf(false)
+	leafIssuer := cascade.Parent(coveredParents(chain)[0])
+	client := w.client(Hardened())
+	client.CascadeShards = buildShardInstall(t, chain, nil, w.clock.Now(),
+		func(p cascade.Parent) bool { return p == leafIssuer })
+	if client.CascadeShards.NumShards() != 1 {
+		t.Fatalf("installed %d shards, want 1", client.CascadeShards.NumShards())
+	}
+
+	v := mustEval(t, client, chain)
+	if v.Outcome != OutcomeAccept {
+		t.Errorf("verdict: %+v", v)
+	}
+	if v.FastPath.CascadeHits == 0 || v.FastPath.CascadeMisses == 0 {
+		t.Errorf("expected one shard hit and one miss: %+v", v.FastPath)
+	}
+	for _, e := range v.Events {
+		if e.Protocol == "cascade-shard" && e.Pos != PosLeaf {
+			t.Errorf("uninstalled issuer answered locally: %+v", e)
+		}
+	}
+	if w.net.TotalStats().Requests == 0 {
+		t.Error("untrusted issuer's element should have hit the network")
 	}
 }

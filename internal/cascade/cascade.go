@@ -47,10 +47,13 @@ package cascade
 import (
 	"bytes"
 	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sort"
 	"time"
+
+	"repro/internal/ribbon"
 )
 
 const (
@@ -61,6 +64,10 @@ const (
 	// level1K is the hash count of level 1, giving p = 2^-7 at the sized
 	// capacity so level 2 stays ~1% of the population.
 	level1K = 7
+	// level1RBits / deepRBits are the ribbon fingerprint widths matching
+	// the Bloom levels' false-positive targets (2^-7 and 2^-1).
+	level1RBits = 7
+	deepRBits   = 1
 	// ParentSize is the byte length of an issuer key hash (SHA-256 of
 	// the SubjectPublicKeyInfo), the prefix of every cascade key.
 	ParentSize = 32
@@ -70,12 +77,102 @@ const (
 // (the same value crlset.Parent holds).
 type Parent [ParentSize]byte
 
-// level is one Bloom filter of the cascade. bits may alias the decode
-// buffer (zero-copy, mmap-friendly); it is never written after build.
+// LevelKind selects the per-level filter representation a build or a
+// publisher chain uses. The zero value is the original all-Bloom cascade
+// so existing callers (and the CASC v1 wire format) are unchanged.
+type LevelKind uint8
+
+const (
+	// KindBloom builds every level as a salted Bloom filter — the CASC
+	// v1 representation, byte-compatible with pre-ribbon artifacts.
+	KindBloom LevelKind = iota
+	// KindRibbon builds level 1 as a bucketed ribbon filter (~2.5x
+	// fewer bits than a capacity-sized Bloom) and picks whichever
+	// representation encodes smaller for each deep level.
+	KindRibbon
+	// KindAuto is KindRibbon under a name tooling can default to: the
+	// size comparison already picks the smaller representation per
+	// level, so "auto" and "ribbon" coincide.
+	KindAuto
+)
+
+func (k LevelKind) String() string {
+	switch k {
+	case KindBloom:
+		return "bloom"
+	case KindRibbon:
+		return "ribbon"
+	case KindAuto:
+		return "auto"
+	default:
+		return fmt.Sprintf("LevelKind(%d)", uint8(k))
+	}
+}
+
+// ParseLevelKind maps the -levelkind flag spellings.
+func ParseLevelKind(s string) (LevelKind, error) {
+	switch s {
+	case "bloom":
+		return KindBloom, nil
+	case "ribbon":
+		return KindRibbon, nil
+	case "auto":
+		return KindAuto, nil
+	}
+	return 0, fmt.Errorf("cascade: unknown level kind %q (want bloom|ribbon|auto)", s)
+}
+
+// levelKind is the on-wire per-level representation tag (CASC v2).
+type levelKind uint8
+
+const (
+	kindBloom  levelKind = 0
+	kindRibbon levelKind = 1
+)
+
+// level is one filter of the cascade, either a salted Bloom filter or a
+// ribbon filter plus an exact side list (bumped rows, publisher stash).
+// All byte slices may alias the decode buffer (zero-copy, mmap-friendly);
+// they are never written after build.
 type level struct {
+	kind levelKind
+	// Bloom representation.
 	k     uint32
 	mBits uint64
 	bits  []byte
+	// Ribbon representation. side holds little-endian uint32 records
+	// (ribbon.Hash64 of member keys, truncated) that force "contains":
+	// rows the solver bumped, plus keys a publisher stashed after the
+	// last level-1 freeze. A member key always finds its own truncated
+	// hash, so the side list cannot cause a false negative; a collision
+	// is one more false positive for the next level to capture. The wire
+	// order is the publisher's append order — bumped rows sorted at
+	// freeze time, then stash entries in arrival order — so day-to-day
+	// stash growth is a pure tail append and the delta's block diff
+	// ships only the new entries. sideSorted is the in-memory sorted
+	// view lookups binary-search; it never reaches the wire.
+	rib        *ribbon.Filter
+	side       []byte
+	sideSorted []uint32
+}
+
+// ribbonLevel wraps a solved ribbon and its packed side list into a
+// level, materializing the sorted lookup view.
+func ribbonLevel(rib *ribbon.Filter, side []byte) level {
+	return level{kind: kindRibbon, rib: rib, side: side, sideSorted: sortSide(side)}
+}
+
+// sortSide unpacks side-list wire bytes into a sorted uint32 slice.
+func sortSide(side []byte) []uint32 {
+	if len(side) == 0 {
+		return nil
+	}
+	out := make([]uint32, len(side)/4)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(side[i*4:])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // sizeLevel1 returns the level-1 bit count for the given key capacity:
@@ -130,6 +227,10 @@ func (l *level) add(salt byte, key []byte) {
 }
 
 func (l *level) contains(salt byte, key []byte) bool {
+	if l.kind == kindRibbon {
+		match, h64 := l.rib.Probe(salt, key)
+		return match || sideLookup(l.sideSorted, uint32(h64))
+	}
 	h1, h2 := hashPair(salt, key)
 	for i := uint64(0); i < uint64(l.k); i++ {
 		bit := (h1 + i*h2) % l.mBits
@@ -138,6 +239,79 @@ func (l *level) contains(salt byte, key []byte) bool {
 		}
 	}
 	return true
+}
+
+// sideLookup binary-searches the sorted side-list view for h. Zero
+// allocations.
+func sideLookup(side []uint32, h uint32) bool {
+	lo, hi := 0, len(side)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if side[mid] < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(side) && side[lo] == h
+}
+
+// truncateHashes maps 64-bit ribbon hashes to the sorted deduplicated
+// 32-bit values the side list stores.
+func truncateHashes(hs []uint64) []uint32 {
+	if len(hs) == 0 {
+		return nil
+	}
+	out := make([]uint32, len(hs))
+	for i, h := range hs {
+		out[i] = uint32(h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[w-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// packHashes flattens uint32 hashes into side-list wire form, keeping
+// the caller's order.
+func packHashes(hs []uint32) []byte {
+	if len(hs) == 0 {
+		return nil
+	}
+	out := make([]byte, 0, 4*len(hs))
+	for _, h := range hs {
+		out = binary.LittleEndian.AppendUint32(out, h)
+	}
+	return out
+}
+
+// bloomLevelBytes / ribbonLevelBytes are the encoded v2 sizes of a deep
+// level holding n keys under each representation (kind byte + payload;
+// side lists excluded — bumps are rare). Deterministic, so per-level
+// kind selection never flip-flops for a given population.
+func bloomLevelBytes(n int) int  { return 1 + levelHeaderSize + int(sizeDeep(n)/8) }
+func ribbonLevelBytes(n int) int { return 1 + ribbon.EstimateBytes(n, deepRBits) }
+
+// makeDeepLevel builds one deep level over keys, choosing the smaller
+// encoding when the chain allows ribbon levels (ties go to Bloom).
+func makeDeepLevel(salt byte, keys [][]byte, kind LevelKind) (level, error) {
+	if kind != KindBloom && ribbonLevelBytes(len(keys)) < bloomLevelBytes(len(keys)) {
+		rib, bumped, err := ribbon.Build(salt, keys, deepRBits)
+		if err != nil {
+			return level{}, err
+		}
+		return ribbonLevel(rib, packHashes(truncateHashes(bumped))), nil
+	}
+	lv := newLevel(1, sizeDeep(len(keys)))
+	for _, k := range keys {
+		lv.add(salt, k)
+	}
+	return lv, nil
 }
 
 // Filter is a decoded cascade snapshot. It is immutable and safe for
@@ -211,11 +385,57 @@ func (f *Filter) Revoked(key []byte) bool {
 	return len(f.levels)%2 == 1
 }
 
+// wireVersion returns the CASC version the filter encodes as: v1 when
+// every level is Bloom (byte-compatible with pre-ribbon artifacts), v2
+// as soon as any level is a ribbon.
+func (f *Filter) wireVersion() byte {
+	for i := range f.levels {
+		if f.levels[i].kind != kindBloom {
+			return formatVersion2
+		}
+	}
+	return formatVersion
+}
+
+// RibbonLevels returns how many levels use the ribbon representation.
+func (f *Filter) RibbonLevels() int {
+	n := 0
+	for i := range f.levels {
+		if f.levels[i].kind == kindRibbon {
+			n++
+		}
+	}
+	return n
+}
+
+// SideEntries returns the total exact side-list entries (bumped rows
+// plus publisher stash) across all levels.
+func (f *Filter) SideEntries() int {
+	n := 0
+	for i := range f.levels {
+		n += len(f.levels[i].side) / 4
+	}
+	return n
+}
+
 // SizeBytes returns the encoded snapshot size.
 func (f *Filter) SizeBytes() int {
 	n := headerSize + len(f.parents) + crcSize
-	for _, l := range f.levels {
-		n += levelHeaderSize + len(l.bits)
+	if f.wireVersion() == formatVersion {
+		for _, l := range f.levels {
+			n += levelHeaderSize + len(l.bits)
+		}
+		return n
+	}
+	for i := range f.levels {
+		l := &f.levels[i]
+		n++ // kind byte
+		if l.kind == kindRibbon {
+			n += l.rib.EncodedLen()
+		} else {
+			n += levelHeaderSize + len(l.bits)
+		}
+		n += sideCountSize + 4*sideCapEntries(len(l.side)/4, i)
 	}
 	return n
 }
@@ -248,8 +468,13 @@ type BuildConfig struct {
 	// Level1Capacity fixes the level-1 key capacity (and therefore its
 	// size) independently of the current |R|, so a publisher can OR
 	// daily additions into the same bit array. Zero sizes for
-	// 2·|R|+64.
+	// 2·|R|+64. Bloom levels only: a ribbon level 1 is solved exactly
+	// for the build's key set (a publisher absorbs growth in its stash
+	// instead of in slack bits), so the capacity knob does not apply.
 	Level1Capacity int
+	// LevelKind selects the level representation. The zero value keeps
+	// the all-Bloom CASC v1 cascade.
+	LevelKind LevelKind
 }
 
 func (cfg *BuildConfig) capacity(nRevoked int) int {
@@ -263,7 +488,7 @@ func (cfg *BuildConfig) capacity(nRevoked int) int {
 // revoked maps every key of R; visitKnown streams the full known-cert
 // population (revoked certs included — they are skipped by the map).
 // The returned level slice includes lvl1.
-func buildDeepLevels(lvl1 level, revoked map[string]bool, visitKnown func(func(key []byte) bool)) ([]level, error) {
+func buildDeepLevels(lvl1 level, revoked map[string]bool, visitKnown func(func(key []byte) bool), kind LevelKind) ([]level, error) {
 	levels := []level{lvl1}
 
 	// D2: enrolled non-revoked keys that level 1 wrongly claims. This is
@@ -289,9 +514,9 @@ func buildDeepLevels(lvl1 level, revoked map[string]bool, visitKnown func(func(k
 			return nil, fmt.Errorf("cascade: build exceeded %d levels (hash correlation?)", maxLevels)
 		}
 		salt := byte(len(levels))
-		lv := newLevel(1, sizeDeep(len(cur)))
-		for _, k := range cur {
-			lv.add(salt, k)
+		lv, err := makeDeepLevel(salt, cur, kind)
+		if err != nil {
+			return nil, err
 		}
 		levels = append(levels, lv)
 
@@ -328,11 +553,24 @@ func Build(revoked [][]byte, visitKnown func(func(key []byte) bool), parents []P
 	for _, k := range revoked {
 		revSet[string(k)] = true
 	}
-	lvl1 := newLevel(level1K, sizeLevel1(cfg.capacity(len(revSet))))
-	for k := range revSet {
-		lvl1.add(0, []byte(k))
+	var lvl1 level
+	if cfg.LevelKind == KindBloom {
+		lvl1 = newLevel(level1K, sizeLevel1(cfg.capacity(len(revSet))))
+		for k := range revSet {
+			lvl1.add(0, []byte(k))
+		}
+	} else {
+		keys := make([][]byte, 0, len(revSet))
+		for k := range revSet {
+			keys = append(keys, []byte(k))
+		}
+		rib, bumped, err := ribbon.Build(0, keys, level1RBits)
+		if err != nil {
+			return nil, err
+		}
+		lvl1 = ribbonLevel(rib, packHashes(truncateHashes(bumped)))
 	}
-	levels, err := buildDeepLevels(lvl1, revSet, visitKnown)
+	levels, err := buildDeepLevels(lvl1, revSet, visitKnown, cfg.LevelKind)
 	if err != nil {
 		return nil, err
 	}

@@ -181,7 +181,7 @@ func TestDecodeRejectsCorruption(t *testing.T) {
 
 // chainWorld simulates daily churn for publisher tests: a growing
 // population with daily adds and occasional removals.
-func runChain(t *testing.T, days int, cap int, withRemovals bool) (*Publisher, [][]byte, [][]byte, *synthWorld) {
+func runChain(t *testing.T, days int, cap int, withRemovals bool, kind LevelKind) (*Publisher, [][]byte, [][]byte, *synthWorld) {
 	t.Helper()
 	w := newSynthWorld(5, 4, 12000, 0)
 	pub := NewPublisher(PublishConfig{
@@ -189,6 +189,7 @@ func runChain(t *testing.T, days int, cap int, withRemovals bool) (*Publisher, [
 		VisitKnown:     w.visit,
 		MaxAge:         72 * time.Hour,
 		Level1Capacity: cap,
+		LevelKind:      kind,
 	})
 	rng := rand.New(rand.NewSource(99))
 	var snaps, deltas [][]byte
@@ -253,7 +254,7 @@ func TestDeltaChainRoundTrip(t *testing.T) {
 			name = "with-removals"
 		}
 		t.Run(name, func(t *testing.T) {
-			_, snaps, deltas, _ := runChain(t, 8, 2048, removals)
+			_, snaps, deltas, _ := runChain(t, 8, 2048, removals, KindBloom)
 			cur := snaps[0]
 			for i, d := range deltas {
 				next, err := Apply(cur, d)
@@ -295,7 +296,7 @@ func lenSum(bs [][]byte) int {
 // TestDeltaFences pins the epoch fence: a delta applied to anything but
 // its exact base errors out instead of corrupting the filter.
 func TestDeltaFences(t *testing.T) {
-	_, snaps, deltas, _ := runChain(t, 4, 2048, false)
+	_, snaps, deltas, _ := runChain(t, 4, 2048, false, KindBloom)
 	if _, err := Apply(snaps[0], deltas[1]); err == nil {
 		t.Error("applied day-2 delta to day-0 base")
 	}
@@ -316,7 +317,7 @@ func TestDeltaFences(t *testing.T) {
 // TestDeltaSizeTracksChurn: a daily delta must be proportional to the
 // day's churn, far below the full snapshot.
 func TestDeltaSizeTracksChurn(t *testing.T) {
-	_, snaps, deltas, _ := runChain(t, 6, 4096, false)
+	_, snaps, deltas, _ := runChain(t, 6, 4096, false, KindBloom)
 	full := len(snaps[len(snaps)-1])
 	for i, d := range deltas {
 		if len(d) >= full/2 {
@@ -329,7 +330,7 @@ func TestDeltaSizeTracksChurn(t *testing.T) {
 // day-N snapshot must be byte-identical to a from-scratch Build with the
 // same parameters — the incremental path cannot drift.
 func TestPublisherMatchesBuild(t *testing.T) {
-	pub, snaps, _, w := runChain(t, 5, 2048, false)
+	pub, snaps, _, w := runChain(t, 5, 2048, false, KindBloom)
 	f, err := Decode(snaps[len(snaps)-1])
 	if err != nil {
 		t.Fatal(err)

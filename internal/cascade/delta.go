@@ -43,10 +43,15 @@ import (
 // exact base fails the fence instead of corrupting its filter.
 const (
 	deltaMagic = "CASD"
-	// diffBlock is the granularity of the binary diff. Level-1 daily
-	// churn flips a few bits per added key; 64-byte blocks keep a
-	// day's delta proportional to the churn, not the filter size.
-	diffBlock = 64
+	// diffBlock is the granularity of the binary diff — an emitter
+	// tuning knob only, since the copy/replace ops are self-describing
+	// byte counts. Level-1 daily churn flips a few bits per added key
+	// (Bloom) or appends a few stash words (ribbon); 16-byte blocks
+	// ship ~16 bytes per touched spot against ~5 bytes of op overhead
+	// per run, the sweet spot for both — 64-byte blocks quadruple the
+	// literal cost of every isolated change, and byte-granular runs
+	// drown small filters in op framing.
+	diffBlock = 16
 	// maxDeltaKeys and maxKeyBytes bound decoded allocations.
 	maxDeltaKeys = 1 << 24
 	maxKeyBytes  = 255
@@ -162,29 +167,53 @@ func parseDelta(data []byte) (*delta, error) {
 }
 
 // orAdds returns a copy of snapshot with each key OR'd into its level-1
-// bit array, using the snapshot's own level-1 geometry. Errors if the
+// Bloom bit array, using the snapshot's own level-1 geometry. A v2
+// snapshot whose level 1 is a ribbon has no OR-able bits — its churn
+// rides in the byte patch (stash tail append) instead, so the adds list
+// must be empty and the snapshot is copied unchanged. Errors if the
 // snapshot is too mangled to locate the level-1 region safely.
 func orAdds(snapshot []byte, adds [][]byte) ([]byte, error) {
 	if len(snapshot) < headerSize+crcSize {
 		return nil, errors.New("cascade: snapshot too short for level-1 region")
+	}
+	version := snapshot[4]
+	if version != formatVersion && version != formatVersion2 {
+		return nil, fmt.Errorf("cascade: unsupported snapshot version %d", version)
 	}
 	nParents := binary.LittleEndian.Uint32(snapshot[33:])
 	if nParents > maxParents {
 		return nil, fmt.Errorf("cascade: implausible parent count %d", nParents)
 	}
 	off := headerSize + int(nParents)*ParentSize
+	if version == formatVersion2 {
+		if len(snapshot)-crcSize < off+1 {
+			return nil, errors.New("cascade: truncated before level 1")
+		}
+		switch levelKind(snapshot[off]) {
+		case kindRibbon:
+			if len(adds) > 0 {
+				return nil, errors.New("cascade: cannot replay adds into a ribbon level 1")
+			}
+			return append([]byte(nil), snapshot...), nil
+		case kindBloom:
+			off++ // Bloom payload follows the kind byte
+		default:
+			return nil, fmt.Errorf("cascade: unknown level-1 kind %d", snapshot[off])
+		}
+	}
 	if len(snapshot)-crcSize < off+levelHeaderSize {
 		return nil, errors.New("cascade: truncated before level 1")
 	}
 	mBits := binary.LittleEndian.Uint64(snapshot[off+4:])
-	if mBits < 1 || mBits > maxLevelBytes*8 {
+	if mBits < 1 || mBits > uint64(maxLevelBytes)*8 {
 		return nil, fmt.Errorf("cascade: level-1 size %d bits out of range", mBits)
 	}
 	bitsOff := off + levelHeaderSize
-	bLen := int((mBits + 7) / 8)
-	if len(snapshot)-crcSize < bitsOff+bLen {
+	bLen64 := int64((mBits + 7) / 8)
+	if bLen64 > int64(len(snapshot)-crcSize-bitsOff) {
 		return nil, errors.New("cascade: truncated level-1 bits")
 	}
+	bLen := int(bLen64)
 	out := append([]byte(nil), snapshot...)
 	lv := level{
 		k:     binary.LittleEndian.Uint32(snapshot[off:]),

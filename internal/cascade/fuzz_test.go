@@ -7,10 +7,10 @@ import (
 	"time"
 )
 
-// fuzzArtifacts builds one small publisher chain and returns (base
-// snapshot, next snapshot, the delta between them) as fuzz seed
-// material.
-func fuzzArtifacts(f *testing.F) (snap0, snap1, delta []byte) {
+// fuzzArtifacts builds one small publisher chain per level kind and
+// returns (base snapshot, next snapshot, the delta between them) as
+// fuzz seed material.
+func fuzzArtifacts(f *testing.F, kind LevelKind) (snap0, snap1, delta []byte) {
 	f.Helper()
 	w := newSynthWorld(11, 2, 1500, 0)
 	pub := NewPublisher(PublishConfig{
@@ -18,6 +18,7 @@ func fuzzArtifacts(f *testing.F) (snap0, snap1, delta []byte) {
 		VisitKnown:     w.visit,
 		MaxAge:         48 * time.Hour,
 		Level1Capacity: 256,
+		LevelKind:      kind,
 	})
 	snap0, _, err := pub.Advance(t0, w.keys[:60], nil)
 	if err != nil {
@@ -46,7 +47,7 @@ func refence(b []byte) []byte {
 // whose verdicts differ from its own bytes); any delta that applies
 // must yield the exact fenced target bytes.
 func FuzzCascadeDecode(f *testing.F) {
-	snap0, snap1, delta := fuzzArtifacts(f)
+	snap0, snap1, delta := fuzzArtifacts(f, KindBloom)
 	f.Add(snap0)
 	f.Add(snap1)
 	f.Add(delta)
@@ -62,6 +63,25 @@ func FuzzCascadeDecode(f *testing.F) {
 		mut := append([]byte(nil), delta...)
 		mut[off] ^= 0x40
 		f.Add(refence(mut))
+	}
+	// CASC v2 (ribbon) seeds: pristine artifacts, plus CRC-valid mutants
+	// of the version byte, the level-1 kind byte, ribbon geometry fields,
+	// and the trailing side section. The canonical-version rule (v1 iff
+	// all-Bloom) makes the re-encode invariant hold across all of them.
+	rsnap0, rsnap1, rdelta := fuzzArtifacts(f, KindRibbon)
+	f.Add(rsnap0)
+	f.Add(rsnap1)
+	f.Add(rdelta)
+	kindOff := headerSize + 2*ParentSize // level 1's kind byte (2 parents)
+	for _, mut := range [][]int{{4, 1}, {4, 3}, {kindOff, 0}, {kindOff, 2}, {kindOff, 0xff}} {
+		b := append([]byte(nil), rsnap0...)
+		b[mut[0]] = byte(mut[1])
+		f.Add(refence(b))
+	}
+	for _, off := range []int{kindOff + 1, kindOff + 3, kindOff + 7, len(rsnap0) - crcSize - 1, len(rsnap0) - crcSize - 9} {
+		b := append([]byte(nil), rsnap0...)
+		b[off] ^= 0x40
+		f.Add(refence(b))
 	}
 
 	probe := AppendKey(nil, Parent{0x42}, []byte{0x01, 0x02})
@@ -80,6 +100,11 @@ func FuzzCascadeDecode(f *testing.F) {
 				// publisher's exact bytes.
 				if !bytes.Equal(out, snap1) {
 					t.Fatal("applied delta produced bytes that are not the fenced target")
+				}
+			}
+			if out, err := Apply(rsnap0, data); err == nil {
+				if !bytes.Equal(out, rsnap1) {
+					t.Fatal("applied ribbon delta produced bytes that are not the fenced target")
 				}
 			}
 		}

@@ -3,6 +3,8 @@ package cascade
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/ribbon"
 )
 
 // PublishConfig parameterizes a Publisher.
@@ -16,13 +18,22 @@ type PublishConfig struct {
 	VisitKnown func(fn func(key []byte) bool)
 	// MaxAge stamps each snapshot's freshness window. Zero = forever.
 	MaxAge time.Duration
-	// Level1Capacity is the initial level-1 key capacity. The level-1
-	// bit array is sized once from it and daily additions are OR'd in
-	// place, keeping day-to-day deltas proportional to churn; when
-	// lifetime insertions outgrow the capacity the publisher resizes
-	// (a full rebuild and a large one-time delta). Zero defaults to
-	// 4096.
+	// Level1Capacity is the initial level-1 key capacity (Bloom chains
+	// only). The level-1 bit array is sized once from it and daily
+	// additions are OR'd in place, keeping day-to-day deltas
+	// proportional to churn; when lifetime insertions outgrow the
+	// capacity the publisher resizes (a full rebuild and a large
+	// one-time delta). Zero defaults to 4096.
 	Level1Capacity int
+	// LevelKind selects the chain's level representation. KindBloom
+	// (the zero value) is the original OR-in-place Bloom chain and its
+	// CASC v1 bytes; KindRibbon/KindAuto run the succinct ribbon chain:
+	// level 1 is a frozen exact solution over R, daily additions land
+	// in an exact stash (the level's side list, a tail append in the
+	// encoding), and when the stash outgrows its budget the publisher
+	// re-freezes — a full re-solve and a large one-time delta, the same
+	// escape hatch as a Bloom resize.
+	LevelKind LevelKind
 }
 
 // Publisher maintains a daily cascade chain: one call to Advance per
@@ -31,28 +42,40 @@ type Publisher struct {
 	cfg     PublishConfig
 	epoch   uint32
 	revoked map[string]bool // current R
-	lvl1    level           // accumulated; params fixed between resizes
+	prev    []byte          // previous epoch's encoded snapshot
+
+	// Bloom chain state.
+	lvl1 level // accumulated; params fixed between resizes
 	// inserted counts distinct keys ever OR'd into lvl1 — removals keep
 	// their bits, so fill (and the FP rate driving level-2 size) tracks
 	// lifetime insertions, not |R|.
 	inserted int
 	capacity int
-	prev     []byte // previous epoch's encoded snapshot
+
+	// Ribbon chain state.
+	rib      *ribbon.Filter  // frozen level-1 solution
+	ribBumps []uint32        // rows bumped at the last freeze, truncated+sorted
+	stash    []uint32        // post-freeze additions (truncated Hash64), arrival order
+	stashSet map[uint32]bool // dedup for stash appends
+	frozen   int             // |R| at the last freeze
 }
 
 // NewPublisher creates an empty chain. The first Advance produces
 // epoch 1 with no delta.
 func NewPublisher(cfg PublishConfig) *Publisher {
-	cap := cfg.Level1Capacity
-	if cap <= 0 {
-		cap = 4096
+	p := &Publisher{
+		cfg:     cfg,
+		revoked: make(map[string]bool),
 	}
-	return &Publisher{
-		cfg:      cfg,
-		revoked:  make(map[string]bool),
-		lvl1:     newLevel(level1K, sizeLevel1(cap)),
-		capacity: cap,
+	if cfg.LevelKind == KindBloom {
+		cap := cfg.Level1Capacity
+		if cap <= 0 {
+			cap = 4096
+		}
+		p.lvl1 = newLevel(level1K, sizeLevel1(cap))
+		p.capacity = cap
 	}
+	return p
 }
 
 // Epoch returns the last published epoch (0 before the first Advance).
@@ -60,6 +83,10 @@ func (p *Publisher) Epoch() uint32 { return p.epoch }
 
 // NumRevoked returns the current revoked-set size.
 func (p *Publisher) NumRevoked() int { return len(p.revoked) }
+
+// StashLen returns the ribbon chain's current stash size (0 for Bloom
+// chains and right after a freeze).
+func (p *Publisher) StashLen() int { return len(p.stash) }
 
 // Snapshot returns the last published snapshot bytes (nil before the
 // first Advance). Callers must not mutate it.
@@ -72,12 +99,19 @@ func (p *Publisher) Snapshot() []byte { return p.prev }
 // the delta chain client-side reconstructs these exact bytes, fenced by
 // CRC at every hop.
 //
-// Additions are OR'd into the fixed-size level 1. Removals only shrink
-// the revoked set — their level-1 bits stay, turning the removed keys
-// into level-1 false positives that the rebuilt level 2 whitelists, so
-// the verdict flips to Good without touching level-1 bytes. The small
-// deep levels are rebuilt from scratch every epoch.
+// Bloom chains OR additions into the fixed-size level 1 and ship the
+// added keys in the delta for client-side replay. Ribbon chains leave
+// the frozen level-1 solution untouched and append additions to the
+// exact stash, which the delta's byte patch carries as a tail append.
+// Either way removals only shrink the revoked set — their level-1
+// claim stays, turning the removed keys into level-1 false positives
+// that the rebuilt level 2 whitelists, so the verdict flips to Good
+// without touching level-1 bytes. The small deep levels are rebuilt
+// from scratch every epoch.
 func (p *Publisher) Advance(now time.Time, adds, removes [][]byte) (snapshot, deltaBytes []byte, err error) {
+	if p.cfg.LevelKind != KindBloom {
+		return p.advanceRibbon(now, adds, removes)
+	}
 	var addedKeys, removedKeys [][]byte // net-new churn, for the delta's metadata
 	for _, k := range adds {
 		if p.revoked[string(k)] {
@@ -106,8 +140,67 @@ func (p *Publisher) Advance(now time.Time, adds, removes [][]byte) (snapshot, de
 		}
 		p.inserted = len(p.revoked)
 	}
+	// The filter built for encoding must not alias p.lvl1's live bits —
+	// Encode copies, but the in-memory levels slice shares lvl1. That is
+	// fine: lvl1 only ever gains bits before the *next* Encode, and the
+	// returned snapshot is a fresh byte slice.
+	return p.finish(now, p.lvl1, addedKeys, removedKeys)
+}
 
-	levels, err := buildDeepLevels(p.lvl1, p.revoked, p.cfg.VisitKnown)
+// advanceRibbon is the succinct chain: frozen solution + exact stash.
+func (p *Publisher) advanceRibbon(now time.Time, adds, removes [][]byte) (snapshot, deltaBytes []byte, err error) {
+	for _, k := range adds {
+		if p.revoked[string(k)] {
+			continue
+		}
+		p.revoked[string(k)] = true
+		// Append, never insert: the stash's wire order is arrival order,
+		// so between freezes the encoded side list only grows at its
+		// tail and the delta ships 4 bytes per new key.
+		if h := uint32(ribbon.Hash64(0, k)); !p.stashSet[h] {
+			if p.stashSet == nil {
+				p.stashSet = make(map[uint32]bool)
+			}
+			p.stashSet[h] = true
+			p.stash = append(p.stash, h)
+		}
+	}
+	for _, k := range removes {
+		delete(p.revoked, string(k))
+	}
+	if p.rib == nil || len(p.stash) > stashBudget(p.frozen) {
+		// Freeze: solve level 1 exactly for the live set, sized with
+		// only the solver's ~12% slack — no growth headroom, that is
+		// the stash's job. The next delta is near-full-size, the same
+		// rare escape hatch as a Bloom resize.
+		keys := make([][]byte, 0, len(p.revoked))
+		for k := range p.revoked {
+			keys = append(keys, []byte(k))
+		}
+		rib, bumps, err := ribbon.Build(0, keys, level1RBits)
+		if err != nil {
+			return nil, nil, err
+		}
+		p.rib, p.ribBumps, p.frozen = rib, truncateHashes(bumps), len(keys)
+		p.stash, p.stashSet = nil, nil
+	}
+	side := packHashes(p.ribBumps)
+	side = append(side, packHashes(p.stash)...)
+	lvl1 := ribbonLevel(p.rib, side)
+	// Ribbon deltas ship no key lists at all. Adds: there is no bit
+	// array to replay them into, and the stash tail rides in the byte
+	// patch for 4 bytes per key instead of a full 33-byte key. Removes:
+	// the list is advisory everywhere (Apply only needs the patch), and
+	// at 33 bytes per key the late-study expiry churn would dominate
+	// per-issuer shard deltas — the rebuilt deep levels already carry
+	// the verdict flips.
+	return p.finish(now, lvl1, nil, nil)
+}
+
+// finish rebuilds the deep levels, encodes the epoch's snapshot and
+// diffs it against the previous one.
+func (p *Publisher) finish(now time.Time, lvl1 level, deltaAdds, removedKeys [][]byte) (snapshot, deltaBytes []byte, err error) {
+	levels, err := buildDeepLevels(lvl1, p.revoked, p.cfg.VisitKnown, p.cfg.LevelKind)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -120,17 +213,29 @@ func (p *Publisher) Advance(now time.Time, adds, removes [][]byte) (snapshot, de
 	if err != nil {
 		return nil, nil, err
 	}
-	// The filter built for encoding must not alias p.lvl1's live bits —
-	// Encode copies, but the in-memory levels slice shares lvl1. That is
-	// fine: lvl1 only ever gains bits before the *next* Encode, and the
-	// returned snapshot is a fresh byte slice.
 	snapshot = f.Encode()
 	if p.prev != nil {
-		deltaBytes, err = MakeDelta(p.prev, snapshot, addedKeys, removedKeys)
+		deltaBytes, err = MakeDelta(p.prev, snapshot, deltaAdds, removedKeys)
 		if err != nil {
 			return nil, nil, fmt.Errorf("cascade: epoch %d delta: %w", p.epoch, err)
 		}
 	}
 	p.prev = snapshot
 	return snapshot, deltaBytes, nil
+}
+
+// stashBudget is how many stashed keys a ribbon chain tolerates before
+// re-freezing: a sixteenth of the frozen set — at 4 bytes per stash
+// entry against the solution's ~1 byte/key, that caps the snapshot
+// bloat between freezes at ~25%, keeping the chain's published
+// artifact within the succinctness gate (≤0.70x Bloom) instead of
+// letting it double back to Bloom size. Floor 128 so small chains —
+// per-issuer shards especially — still go weeks between the
+// near-full-size re-freeze deltas on modest daily churn.
+func stashBudget(frozen int) int {
+	b := frozen / 16
+	if b < 128 {
+		b = 128
+	}
+	return b
 }

@@ -1,0 +1,281 @@
+package cascade
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRibbonBuildExactness: the zero-FP/zero-FN property must hold
+// unchanged when the levels are ribbons, and the succinct snapshot must
+// actually be succinct — at most 0.70x of the Bloom bytes (the PR gate;
+// in practice it is closer to 0.45x against a capacity-sized Bloom).
+func TestRibbonBuildExactness(t *testing.T) {
+	w := newSynthWorld(1, 8, 30000, 700)
+	rib, err := Build(w.revoked(), w.visit, w.parents, BuildConfig{
+		Epoch: 1, BuiltAt: t0, LevelKind: KindRibbon,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rib.NumLevels() < 2 {
+		t.Fatalf("NumLevels = %d; population did not exercise the cascade", rib.NumLevels())
+	}
+	if rib.RibbonLevels() == 0 {
+		t.Fatal("ribbon build produced no ribbon level")
+	}
+	for i, k := range w.keys {
+		want := i < w.nRev
+		if got := rib.Revoked(k); got != want {
+			t.Fatalf("key %d: Revoked = %v, want %v", i, got, want)
+		}
+	}
+	bloom, err := Build(w.revoked(), w.visit, w.parents, BuildConfig{Epoch: 1, BuiltAt: t0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, b := rib.SizeBytes(), bloom.SizeBytes(); float64(r) > 0.70*float64(b) {
+		t.Fatalf("ribbon snapshot %d B not ≤ 0.70x of Bloom %d B", r, b)
+	}
+}
+
+// TestRibbonEncodeDecodeRoundTrip pins the CASC v2 wire format: version
+// byte 2, byte-identical re-encode, verdicts preserved across the trip.
+func TestRibbonEncodeDecodeRoundTrip(t *testing.T) {
+	w := newSynthWorld(2, 4, 8000, 300)
+	f, err := Build(w.revoked(), w.visit, w.parents, BuildConfig{
+		Epoch: 7, BuiltAt: t0, MaxAge: 48 * time.Hour, LevelKind: KindRibbon,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := f.Encode()
+	if enc[4] != formatVersion2 {
+		t.Fatalf("ribbon snapshot encoded as version %d", enc[4])
+	}
+	if len(enc) != f.SizeBytes() {
+		t.Errorf("SizeBytes = %d, encoded %d", f.SizeBytes(), len(enc))
+	}
+	g, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Epoch() != 7 || !g.BuiltAt().Equal(t0) || g.NumRevoked() != 300 ||
+		g.NumLevels() != f.NumLevels() || g.RibbonLevels() != f.RibbonLevels() {
+		t.Fatalf("decoded header drift: %+v", g)
+	}
+	for i, k := range w.keys {
+		if g.Revoked(k) != (i < w.nRev) {
+			t.Fatalf("key %d verdict drift after round trip", i)
+		}
+	}
+	if !bytes.Equal(g.Encode(), enc) {
+		t.Fatal("re-encode is not byte-identical")
+	}
+}
+
+// TestRibbonChainRoundTrip runs the publisher in ribbon mode through
+// daily churn (including removals and at least one stash-triggered
+// re-freeze at 40 adds/day over 8 days) and proves the delta chain and
+// its compaction reconstruct the exact snapshots — the same contract as
+// the Bloom chain, through the same CASD format.
+func TestRibbonChainRoundTrip(t *testing.T) {
+	for _, removals := range []bool{false, true} {
+		name := "adds-only"
+		if removals {
+			name = "with-removals"
+		}
+		t.Run(name, func(t *testing.T) {
+			_, snaps, deltas, _ := runChain(t, 8, 2048, removals, KindRibbon)
+			cur := snaps[0]
+			for i, d := range deltas {
+				info, err := InspectDelta(d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if info.Adds != 0 {
+					t.Fatalf("delta %d ships %d add keys; ribbon chains carry churn in the patch", i, info.Adds)
+				}
+				next, err := Apply(cur, d)
+				if err != nil {
+					t.Fatalf("delta %d: %v", i, err)
+				}
+				if !bytes.Equal(next, snaps[i+1]) {
+					t.Fatalf("delta %d: reconstruction not byte-identical", i)
+				}
+				cur = next
+			}
+			merged, err := Compact(snaps[0], deltas)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Apply(snaps[0], merged)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if Digest(got) != Digest(snaps[len(snaps)-1]) {
+				t.Fatal("compacted delta does not reproduce the final snapshot")
+			}
+		})
+	}
+}
+
+// TestRibbonStashAndRefreeze: between freezes the frozen level-1
+// solution must not move (deltas stay tail-sized), and once the stash
+// outgrows its budget the publisher re-freezes and the stash resets.
+func TestRibbonStashAndRefreeze(t *testing.T) {
+	w := newSynthWorld(8, 2, 9000, 0)
+	pub := NewPublisher(PublishConfig{Parents: w.parents, VisitKnown: w.visit, LevelKind: KindRibbon})
+	sawStash, sawRefreeze := false, false
+	prevStash := 0
+	for day := 0; day < 10; day++ {
+		adds := w.keys[day*40 : (day+1)*40]
+		if _, _, err := pub.Advance(t0.AddDate(0, 0, day), adds, nil); err != nil {
+			t.Fatal(err)
+		}
+		if pub.StashLen() > 0 {
+			sawStash = true
+		}
+		if day > 0 && pub.StashLen() < prevStash {
+			sawRefreeze = true
+		}
+		prevStash = pub.StashLen()
+	}
+	if !sawStash {
+		t.Fatal("chain never stashed a key")
+	}
+	if !sawRefreeze {
+		t.Fatal("stash never triggered a re-freeze (budget too large for this churn?)")
+	}
+	f, err := Decode(pub.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range w.keys {
+		if f.Revoked(k) != (i < 400) {
+			t.Fatalf("verdict drift at key %d across refreeze", i)
+		}
+	}
+}
+
+// TestRibbonRemovalFlipsVerdict mirrors the Bloom removal semantics: the
+// key's level-1 claim stays (solution and stash untouched) and the
+// rebuilt level 2 whitelists it.
+func TestRibbonRemovalFlipsVerdict(t *testing.T) {
+	w := newSynthWorld(7, 2, 4000, 0)
+	pub := NewPublisher(PublishConfig{Parents: w.parents, VisitKnown: w.visit, LevelKind: KindRibbon})
+	victim := w.keys[0]
+	if _, _, err := pub.Advance(t0, [][]byte{victim, w.keys[1]}, nil); err != nil {
+		t.Fatal(err)
+	}
+	s2, _, err := pub.Advance(t0.AddDate(0, 0, 1), nil, [][]byte{victim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Decode(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Revoked(victim) {
+		t.Fatal("removed key still revoked")
+	}
+	if !f2.Revoked(w.keys[1]) {
+		t.Fatal("unrelated key lost")
+	}
+}
+
+// TestV2DecodeRejects drives the v2-specific decode paths with
+// CRC-valid but structurally hostile inputs: unknown level kinds, a v2
+// file with no ribbon level (non-canonical), side lists on Bloom levels.
+func TestV2DecodeRejects(t *testing.T) {
+	w := newSynthWorld(4, 2, 6000, 200)
+	f, err := Build(w.revoked(), w.visit, w.parents, BuildConfig{Epoch: 1, BuiltAt: t0, LevelKind: KindRibbon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := f.Encode()
+	if _, err := Decode(enc); err != nil {
+		t.Fatalf("pristine v2 rejected: %v", err)
+	}
+	refence := func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[len(b)-4:], CRC(b[:len(b)-4]))
+		return b
+	}
+	kindOff := headerSize + f.NumParents()*ParentSize // level 1's kind byte
+	hostile := map[string]func([]byte){
+		"unknown kind":    func(b []byte) { b[kindOff] = 7 },
+		"kind flip":       func(b []byte) { b[kindOff] = byte(kindBloom) }, // ribbon payload parsed as Bloom
+		"version 3":       func(b []byte) { b[4] = 3 },
+		"v1 with ribbons": func(b []byte) { b[4] = formatVersion },
+	}
+	for name, mutate := range hostile {
+		mut := append([]byte(nil), enc...)
+		mutate(mut)
+		if _, err := Decode(refence(mut)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// A v2 snapshot whose levels are all Bloom is non-canonical (it would
+	// re-encode as v1) and must be rejected.
+	bf, err := Build(w.revoked(), w.visit, w.parents, BuildConfig{Epoch: 1, BuiltAt: t0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := bf.Encode()
+	var v2 []byte
+	v2 = append(v2, v1[:headerSize]...)
+	v2[4] = formatVersion2
+	pos := headerSize + bf.NumParents()*ParentSize
+	v2 = append(v2, v1[headerSize:pos]...)
+	for i := 0; i < bf.NumLevels(); i++ {
+		mBits := binary.LittleEndian.Uint64(v1[pos+4:])
+		end := pos + levelHeaderSize + int((mBits+7)/8)
+		v2 = append(v2, byte(kindBloom))
+		v2 = append(v2, v1[pos:end]...)
+		v2 = binary.LittleEndian.AppendUint32(v2, 0) // empty inline side list
+		pos = end
+	}
+	v2 = binary.LittleEndian.AppendUint32(v2, CRC(v2))
+	if _, err := Decode(v2); err == nil || !strings.Contains(err.Error(), "no ribbon level") {
+		t.Errorf("v2 with no ribbon level: err = %v", err)
+	}
+}
+
+// TestDecodeBoundsInt64 is the 32-bit regression test for the decode
+// size bounds: a level header claiming mBits right at the cap
+// (maxLevelBytes·8 = 2^35) must fail as *truncated* — the byte-count
+// comparison happens in int64, so it cannot wrap to a small positive
+// int on 32-bit platforms and read out of bounds — while one past the
+// cap fails the explicit range check.
+func TestDecodeBoundsInt64(t *testing.T) {
+	craft := func(mBits uint64) []byte {
+		b := make([]byte, 0, headerSize+levelHeaderSize+crcSize)
+		b = append(b, snapMagic...)
+		b = append(b, formatVersion)
+		b = binary.LittleEndian.AppendUint32(b, 1) // epoch
+		b = binary.LittleEndian.AppendUint64(b, uint64(t0.Unix()))
+		b = binary.LittleEndian.AppendUint64(b, uint64(t0.Unix()))
+		b = binary.LittleEndian.AppendUint32(b, 0) // maxAge
+		b = binary.LittleEndian.AppendUint32(b, 0) // nRevoked
+		b = binary.LittleEndian.AppendUint32(b, 0) // nParents
+		b = binary.LittleEndian.AppendUint32(b, 1) // nLevels
+		b = binary.LittleEndian.AppendUint32(b, 7) // k
+		b = binary.LittleEndian.AppendUint64(b, mBits)
+		return binary.LittleEndian.AppendUint32(b, CRC(b))
+	}
+	atCap := uint64(maxLevelBytes) * 8
+	if _, err := Decode(craft(atCap)); err == nil || !strings.Contains(err.Error(), "truncated level bits") {
+		t.Errorf("mBits at cap: err = %v, want truncated", err)
+	}
+	if _, err := Decode(craft(atCap + 1)); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("mBits past cap: err = %v, want out of range", err)
+	}
+	// A value whose byte count would wrap a 32-bit int to something small
+	// (2^35 bits → 2^32 bytes → int32 wraps to 0) must also read as
+	// truncated, never as a zero-length level.
+	if _, err := Decode(craft(1 << 34)); err == nil || !strings.Contains(err.Error(), "truncated level bits") {
+		t.Errorf("mBits 2^34: err = %v, want truncated", err)
+	}
+}

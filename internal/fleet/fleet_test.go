@@ -222,3 +222,38 @@ func TestCascadeDeterminismAcrossWorkers(t *testing.T) {
 		t.Errorf("cascade digests differ across workers: %x vs %x", digests[0], digests[1])
 	}
 }
+
+// TestRibbonAndShardedCascadeMatchBloom: the three cascade installs —
+// monolithic Bloom, monolithic ribbon, per-issuer sharded ribbon — must
+// produce the identical run digest: same verdicts, same fast-path
+// attribution, zero network. The ribbon size win is gated at real scale
+// in the cascade package (TestRibbonBuildExactness) and in benchcascade;
+// at this toy world's handful of keys both artifacts are ~200 B and
+// only a loose sanity bound is meaningful.
+func TestRibbonAndShardedCascadeMatchBloom(t *testing.T) {
+	w := testWorld(t, Config{Browsers: 12, Certs: 64, EvalsPerBrowser: 8, Seed: 10})
+	if r, b := w.CascadeRibbon.SizeBytes(), w.Cascade.SizeBytes(); float64(r) > 1.5*float64(b) {
+		t.Errorf("ribbon cascade %d B implausibly above Bloom %d B", r, b)
+	}
+	var digests []uint64
+	for _, opt := range []RunOptions{
+		{Workers: 3, Cascade: true},
+		{Workers: 3, CascadeRibbon: true},
+		{Workers: 3, CascadeShards: true},
+	} {
+		res, err := w.Run(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NetRequests != 0 {
+			t.Errorf("%+v: made %d network requests, want 0", opt, res.NetRequests)
+		}
+		if res.FastPath.CascadeHits != res.Verdicts {
+			t.Errorf("%+v: CascadeHits = %d, want %d", opt, res.FastPath.CascadeHits, res.Verdicts)
+		}
+		digests = append(digests, res.Digest)
+	}
+	if digests[0] != digests[1] || digests[1] != digests[2] {
+		t.Errorf("cascade digests diverge across representations: %x", digests)
+	}
+}

@@ -1,0 +1,42 @@
+package ribbon
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRibbonDecode feeds hostile bytes straight into the level decoder.
+// The invariants: never panic, never over-read, and any accepted input
+// must re-encode to exactly the bytes consumed (canonical form), with
+// probes that run without faulting.
+func FuzzRibbonDecode(f *testing.F) {
+	for _, n := range []int{0, 40, 700} {
+		flt, _, err := Build(0, synthKeys(int64(n), n, 40), 7)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(flt.AppendEncode(nil))
+	}
+	small, _, err := Build(1, synthKeys(3, 5, 40), 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append(small.AppendEncode(nil), 0xFF, 0x00, 0x7F))
+
+	probe := bytes.Repeat([]byte{0x5A}, 40)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		flt, n, err := DecodePrefix(data)
+		if err != nil {
+			return
+		}
+		if n < headerLen || n > len(data) {
+			t.Fatalf("consumed %d of %d", n, len(data))
+		}
+		if !bytes.Equal(flt.AppendEncode(nil), data[:n]) {
+			t.Fatal("accepted input does not re-encode canonically")
+		}
+		flt.Probe(0, probe)
+		flt.Probe(1, probe[:1])
+		flt.Probe(2, nil)
+	})
+}
