@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race race-hot bench-smoke bench bench-all bench-crl bench-crl-check bench-fleet bench-fleet-check bench-revdb bench-revdb-check bench-world bench-world-check bench-cascade bench-cascade-check chaos fuzz-short
+.PHONY: check vet build test race race-hot bench-smoke bench bench-all bench-crl bench-crl-check bench-fleet bench-fleet-check bench-revdb bench-revdb-check bench-world bench-world-check bench-cascade bench-cascade-check bench-scenario bench-scenario-check chaos fuzz-short
 
 # check is the full pre-merge gate: static checks, race-enabled tests on
 # the concurrency-hot packages and then the whole tree (including the
@@ -8,7 +8,7 @@ GO ?= go
 # differential harness on its fixed seeds, a short fuzz pass over the
 # DER-facing parsers, and a one-iteration smoke of the end-to-end
 # world-build benchmark.
-check: vet build race-hot race chaos fuzz-short bench-smoke bench-crl-check bench-fleet-check bench-revdb-check bench-world-check bench-cascade-check
+check: vet build race-hot race chaos fuzz-short bench-smoke bench-crl-check bench-fleet-check bench-revdb-check bench-world-check bench-cascade-check bench-scenario-check
 
 vet:
 	$(GO) vet ./...
@@ -27,7 +27,7 @@ race:
 # crawler pool, fault injector, sharded browser cache, fleet driver,
 # revocation store backends).
 race-hot:
-	$(GO) test -race ./internal/ocsp ./internal/crawler ./internal/faultnet/... ./internal/browser ./internal/fleet ./internal/revdb ./internal/revdb/segdb ./internal/corpus ./internal/workload ./internal/cascade ./internal/ribbon
+	$(GO) test -race ./internal/ocsp ./internal/crawler ./internal/faultnet/... ./internal/browser ./internal/fleet ./internal/revdb ./internal/revdb/segdb ./internal/corpus ./internal/workload ./internal/cascade ./internal/ribbon ./internal/hist ./internal/scenario
 
 # chaos runs the seeded fault-injection differential harness: fixed seeds,
 # each played twice faulted and once clean, asserting determinism,
@@ -117,6 +117,22 @@ bench-world-check:
 # fleet phases for all three installed representations).
 bench-cascade:
 	$(GO) run ./cmd/benchcascade -o BENCH_pr9.json
+
+# bench-scenario regenerates BENCH_pr10.json: the scenario-engine tail-
+# latency record of the headline Heartbleed preset (one million simulated
+# clients against the CDN-fronted responder tier: per-phase p50/p99/p999
+# wall latency, virtual time-to-convergence, stale-Good count).
+bench-scenario:
+	$(GO) run ./cmd/scenario -preset heartbleed-1m -o BENCH_pr10.json
+
+# bench-scenario-check is the SLO gate in `make check`: it replays the
+# scenario at the quick population (identical virtual-time schedule, so
+# convergence hours must match the record exactly) and fails if the warm
+# p99 or brownout p999 exceed 3x the recorded baseline, any stale-Good
+# survives convergence, the histogram record path allocates or exceeds
+# 25 ns/op, or the scenario digest differs across worker counts.
+bench-scenario-check:
+	$(GO) run ./cmd/scenario -check BENCH_pr10.json -quick
 
 # bench-cascade-check is the regression gate in `make check`: it re-runs
 # the publisher and offline-fleet phases on a small world and fails if

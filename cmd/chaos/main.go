@@ -14,14 +14,18 @@ package main
 import (
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"os"
 	"reflect"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/faultnet/chaostest"
+	"repro/internal/hist"
 	"repro/internal/profiling"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -61,23 +65,43 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	failures := 0
+	eng := scenario.New("chaos", int64(seeds[0]))
 	fmt.Fprintf(stdout, "%-12s %-9s %-6s %-7s %-8s %-12s %-11s %s\n",
 		"seed", "requests", "kinds", "revoked", "retries", "determinism", "convergence", "stale-good")
 	for _, seed := range seeds {
+		// Each run of the trio is its own engine phase: the phase's wall
+		// histogram collects the per-evaluation browser latency the
+		// harness records, and its digest fingerprints the run outcome.
+		chaosPhase := func(name string, opts chaostest.Options) (*chaostest.Outcome, error) {
+			var out *chaostest.Outcome
+			_, err := eng.Phase(fmt.Sprintf("seed-%d-%s", seed, name), func(p *scenario.Phase) error {
+				opts.Latency = p.Sharded(1).Shard(0)
+				var err error
+				out, err = chaostest.Run(opts)
+				if err != nil {
+					return err
+				}
+				p.AddOps(int(opts.Latency.Count()))
+				p.MixDigest(outcomeDigest(out))
+				return nil
+			})
+			return out, err
+		}
+
 		opts := chaostest.Options{Seed: seed, Days: *days, Tail: *tail, CertsPerCA: *certs, Faulty: true}
-		first, err := chaostest.Run(opts)
+		first, err := chaosPhase("faulted-a", opts)
 		if err != nil {
 			fmt.Fprintf(stderr, "chaos: seed %d: %v\n", seed, err)
 			return 1
 		}
-		second, err := chaostest.Run(opts)
+		second, err := chaosPhase("faulted-b", opts)
 		if err != nil {
 			fmt.Fprintf(stderr, "chaos: seed %d: %v\n", seed, err)
 			return 1
 		}
 		cleanOpts := opts
 		cleanOpts.Faulty = false
-		clean, err := chaostest.Run(cleanOpts)
+		clean, err := chaosPhase("clean", cleanOpts)
 		if err != nil {
 			fmt.Fprintf(stderr, "chaos: seed %d: %v\n", seed, err)
 			return 1
@@ -102,9 +126,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 			first.Crawl.Retries+first.Crawl.OCSPRetries,
 			verdict(deterministic), verdict(converged), verdict(staleGood == 0))
 	}
+	// Tail-latency line after the table: merged browser-evaluation wall
+	// latency across every run, plus the worst phase. Informational only
+	// — nothing above depends on it, so the table stays byte-identical
+	// to the pre-engine harness.
+	merged := &hist.Snapshot{}
+	for _, p := range eng.Report().Phases {
+		if p.WallHist != nil {
+			merged.Add(p.WallHist)
+		}
+	}
+	if s := merged.Summary(); s.Count > 0 {
+		fmt.Fprintf(stdout, "browser eval latency: p50 %v p99 %v p999 %v max %v over %d evals\n",
+			time.Duration(s.P50Ns), time.Duration(s.P99Ns), time.Duration(s.P999Ns),
+			time.Duration(s.MaxNs), s.Count)
+	}
 	if failures > 0 {
 		fmt.Fprintf(stderr, "chaos: %d invariant failures\n", failures)
 		return 1
 	}
 	return 0
+}
+
+// outcomeDigest reduces a chaos outcome to one deterministic word for
+// the phase digest: the fault schedule, the decision trace, and the
+// final revocation database.
+func outcomeDigest(o *chaostest.Outcome) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s|%d", o.Faults.Digest, o.Decisions, o.RevDB, o.Revoked)
+	return h.Sum64()
 }

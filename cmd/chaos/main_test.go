@@ -20,6 +20,14 @@ func TestChaosSmoke(t *testing.T) {
 	if strings.Contains(s, "FAIL") {
 		t.Errorf("invariant failure reported:\n%s", s)
 	}
+	// The engine adds a tail-latency line after the table; the table
+	// itself keeps its pre-engine shape (header first, latency line last).
+	if !strings.HasPrefix(s, "seed ") {
+		t.Errorf("table header no longer first:\n%s", s)
+	}
+	if !strings.Contains(s, "browser eval latency: p50 ") {
+		t.Errorf("latency tail line missing:\n%s", s)
+	}
 }
 
 func TestChaosBadSeed(t *testing.T) {

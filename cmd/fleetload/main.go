@@ -29,7 +29,9 @@ import (
 
 	"repro/internal/browser"
 	"repro/internal/fleet"
+	"repro/internal/hist"
 	"repro/internal/profiling"
+	"repro/internal/scenario"
 )
 
 // Config is the harness configuration echoed into the report.
@@ -87,6 +89,9 @@ type Phase struct {
 	Digest           string         `json:"digest"`
 	Cache            CacheReport    `json:"cache"`
 	FastPath         FastPathReport `json:"fastpath,omitempty"`
+	// Latency is the per-verdict wall-latency distribution the scenario
+	// engine recorded for this phase (p50/p99/p999 in nanoseconds).
+	Latency hist.Summary `json:"latency"`
 }
 
 // StampedeReport is the singleflight collapse measurement.
@@ -158,6 +163,7 @@ func toPhase(name string, res fleet.Result) Phase {
 		NetRequests:      res.NetRequests,
 		NetBytes:         res.NetBytes,
 		Digest:           fmt.Sprintf("%016x", res.Digest),
+		Latency:          res.Latency,
 		Cache: CacheReport{
 			Hits:        res.Cache.Hits(),
 			Misses:      res.Cache.Misses(),
@@ -211,14 +217,35 @@ func runFleet(cfg Config, stdout io.Writer) (*Report, error) {
 	fmt.Fprintf(stdout, "world: %d certs issued, %d revoked, CRLSet %d entries, bloom %d keys\n",
 		len(w.Chains), w.NumRevoked(), w.CRLSet.NumEntries(), w.Bloom.N())
 
+	// Every measured run executes as a scenario phase: the engine
+	// brackets it with fabric deltas and collects the per-verdict wall
+	// histogram the run's workers record shard-locally.
+	eng := scenario.New("fleetload", cfg.Seed)
+	eng.Attach(w.Net, w.Clock)
 	measure := func(name string, opt fleet.RunOptions) (fleet.Result, error) {
-		res, err := w.Run(opt)
+		var res fleet.Result
+		_, err := eng.Phase(name, func(p *scenario.Phase) error {
+			workers := opt.Workers
+			if workers < 1 {
+				workers = 1
+			}
+			opt.Latency = p.Sharded(workers)
+			var err error
+			res, err = w.Run(opt)
+			if err != nil {
+				return err
+			}
+			p.AddOps(res.Verdicts)
+			p.MixDigest(res.Digest)
+			return nil
+		})
 		if err != nil {
 			return res, fmt.Errorf("%s: %w", name, err)
 		}
 		rep.Phases = append(rep.Phases, toPhase(name, res))
-		fmt.Fprintf(stdout, "  %-16s %9.0f verdicts/s %8.2f allocs/verdict %7d net reqs\n",
-			name, res.VerdictsPerSec, res.AllocsPerVerdict, res.NetRequests)
+		fmt.Fprintf(stdout, "  %-16s %9.0f verdicts/s %8.2f allocs/verdict %7d net reqs  p99 %s\n",
+			name, res.VerdictsPerSec, res.AllocsPerVerdict, res.NetRequests,
+			time.Duration(res.Latency.P99Ns))
 		return res, nil
 	}
 

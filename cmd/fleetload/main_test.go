@@ -3,7 +3,11 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"testing"
+
+	"repro/internal/browser"
+	"repro/internal/fleet"
 )
 
 func TestRunFleetSmoke(t *testing.T) {
@@ -79,6 +83,84 @@ func TestRunQuickCheckRoundTrip(t *testing.T) {
 	}
 	if err := checkAgainst(&recorded, rep); err != nil {
 		t.Errorf("self-check: %v", err)
+	}
+}
+
+// TestEngineFleetMatchesDirectRun is the differential check for the
+// scenario-engine rewire: a fleet run driven through runFleet's engine
+// phases must produce exactly the digests and tallies a direct w.Run of
+// the same world yields, while the engine-driven phases newly carry
+// per-verdict latency.
+func TestEngineFleetMatchesDirectRun(t *testing.T) {
+	cfg := Config{
+		Browsers:        32,
+		Certs:           96,
+		EvalsPerBrowser: 16,
+		Workers:         2,
+		ZipfS:           1.2,
+		RevokedFraction: 0.1,
+		CRLOnlyFraction: 0.3,
+		StampedeClients: 24,
+		Seed:            7,
+	}
+	var stdout bytes.Buffer
+	rep, err := runFleet(cfg, &stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Direct runs on a fresh but identically seeded world, no engine.
+	w, err := fleet.New(fleet.Config{
+		Browsers:        cfg.Browsers,
+		Certs:           cfg.Certs,
+		EvalsPerBrowser: cfg.EvalsPerBrowser,
+		ZipfS:           cfg.ZipfS,
+		RevokedFraction: cfg.RevokedFraction,
+		CRLOnlyFraction: cfg.CRLOnlyFraction,
+		Seed:            cfg.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := browser.NewSingleLockCache()
+	directCold, err := w.Run(fleet.RunOptions{Workers: cfg.Workers, Store: legacy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	directWarm, err := w.Run(fleet.RunOptions{Workers: cfg.Workers, Store: legacy})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		phase  string
+		direct fleet.Result
+	}{
+		{"legacy-cold", directCold},
+		{"legacy-warm", directWarm},
+	} {
+		p := rep.phase(tc.phase)
+		if p == nil {
+			t.Fatalf("phase %q missing", tc.phase)
+		}
+		if want := fmt.Sprintf("%016x", tc.direct.Digest); p.Digest != want {
+			t.Errorf("%s: engine digest %s != direct %s", tc.phase, p.Digest, want)
+		}
+		if p.Verdicts != tc.direct.Verdicts || p.Rejects != tc.direct.Rejects ||
+			p.Revocations != tc.direct.RevocationsDetected {
+			t.Errorf("%s: tallies diverged: engine %d/%d/%d, direct %d/%d/%d", tc.phase,
+				p.Verdicts, p.Rejects, p.Revocations,
+				tc.direct.Verdicts, tc.direct.Rejects, tc.direct.RevocationsDetected)
+		}
+		if p.NetRequests != tc.direct.NetRequests {
+			t.Errorf("%s: net requests %d != direct %d", tc.phase, p.NetRequests, tc.direct.NetRequests)
+		}
+		if p.Latency.Count != uint64(p.Verdicts) {
+			t.Errorf("%s: latency samples %d, want one per verdict (%d)", tc.phase, p.Latency.Count, p.Verdicts)
+		}
+		if p.Latency.P99Ns <= 0 {
+			t.Errorf("%s: p99 missing: %+v", tc.phase, p.Latency)
+		}
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math"
 	"math/rand"
@@ -27,8 +28,10 @@ import (
 
 	"repro/internal/ca"
 	"repro/internal/crl"
+	"repro/internal/hist"
 	"repro/internal/ocsp"
 	"repro/internal/profiling"
+	"repro/internal/scenario"
 	"repro/internal/simtime"
 )
 
@@ -65,6 +68,14 @@ type PhaseResult struct {
 	AllocsPerOp     int64   `json:"allocs_per_op"`
 	BytesPerOp      int64   `json:"bytes_per_op"`
 	ResponsesPerSec float64 `json:"responses_per_sec"`
+	// Latency is the per-request wall-latency distribution from one
+	// instrumented replay of the full sequence (separate from the
+	// calibrated loop above, so ns_per_op stays comparable with
+	// recorded baselines).
+	Latency hist.Summary `json:"latency"`
+	// Digest fingerprints the replayed request stream; identical for
+	// any run of the same config.
+	Digest string `json:"digest"`
 }
 
 // Report is the harness output.
@@ -101,6 +112,10 @@ type loadRequest struct {
 	req  *http.Request
 	body *bytes.Reader
 	der  []byte
+	// id is the request's deterministic identity (the queried serial):
+	// unlike the encoded request bytes, it does not depend on the CA's
+	// randomly generated key, so it is stable across runs of one config.
+	id string
 }
 
 func (lr *loadRequest) replay() *http.Request {
@@ -158,13 +173,14 @@ func buildSequence(cfg Config) (*ca.CA, []loadRequest, error) {
 	for i := range seq {
 		rec := records[zipf.Uint64()]
 		der := (&ocsp.Request{IDs: []ocsp.CertID{ocsp.NewCertID(caCert, rec.Serial)}}).Marshal()
+		id := rec.Serial.String()
 		if rng.Float64() < cfg.GETFraction {
 			encoded := base64.StdEncoding.EncodeToString(der)
 			req, err := http.NewRequest(http.MethodGet, "http://ocsp.load.test/"+url.PathEscape(encoded), nil)
 			if err != nil {
 				return nil, nil, err
 			}
-			seq[i] = loadRequest{req: req}
+			seq[i] = loadRequest{req: req, id: id}
 		} else {
 			body := bytes.NewReader(der)
 			req, err := http.NewRequest(http.MethodPost, "http://ocsp.load.test/", io.NopCloser(body))
@@ -172,7 +188,7 @@ func buildSequence(cfg Config) (*ca.CA, []loadRequest, error) {
 				return nil, nil, err
 			}
 			req.Header.Set("Content-Type", "application/ocsp-request")
-			seq[i] = loadRequest{req: req, body: body, der: der}
+			seq[i] = loadRequest{req: req, body: body, der: der, id: id}
 		}
 	}
 	return authority, seq, nil
@@ -223,7 +239,38 @@ func measure(handler http.Handler, seq []loadRequest, benchTime time.Duration) P
 	return out
 }
 
-// runLoad executes both phases and assembles the report.
+// seqDigest fingerprints the replayed request stream (method and queried
+// serial of every request, in order). Two builds of the same config
+// digest identically — the encoded request bytes would not, because the
+// CertID hashes the CA's randomly generated key — which is what the
+// scenario differential test checks.
+func seqDigest(seq []loadRequest) uint64 {
+	h := fnv.New64a()
+	for i := range seq {
+		h.Write([]byte(seq[i].req.Method))
+		h.Write([]byte{0})
+		h.Write([]byte(seq[i].id))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// instrument replays the sequence once against handler, recording every
+// request's wall latency into the phase.
+func instrument(p *scenario.Phase, handler http.Handler, seq []loadRequest) {
+	w := &discardRW{}
+	for i := range seq {
+		lr := &seq[i]
+		clear(w.h)
+		t0 := time.Now()
+		handler.ServeHTTP(w, lr.replay())
+		p.Record(time.Since(t0))
+	}
+	p.AddOps(len(seq))
+}
+
+// runLoad executes both phases through the scenario engine and
+// assembles the report.
 func runLoad(cfg Config) (*Report, error) {
 	if cfg.Serials < 2 || cfg.Requests < 1 {
 		return nil, fmt.Errorf("revload: need at least 2 serials and 1 request")
@@ -243,8 +290,21 @@ func runLoad(cfg Config) (*Report, error) {
 	rep.Config.RevokedFraction = cfg.RevokedFraction
 	rep.Config.Seed = cfg.Seed
 
+	eng := scenario.New("revload", cfg.Seed)
+	digest := seqDigest(seq)
+
 	// Cold: the plain responder signs every request.
-	rep.Cold = measure(authority.Responder(), seq, cfg.BenchTime)
+	coldPhase, err := eng.Phase("cold", func(p *scenario.Phase) error {
+		p.MixDigest(digest)
+		rep.Cold = measure(authority.Responder(), seq, cfg.BenchTime)
+		instrument(p, authority.Responder(), seq)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Cold.Latency = coldPhase.Wall
+	rep.Cold.Digest = fmt.Sprintf("%016x", digest)
 
 	// Warm: the caching responder, pre-warmed with one pass over the
 	// distinct request set so measurement sees steady state.
@@ -255,7 +315,17 @@ func runLoad(cfg Config) (*Report, error) {
 		cached.ServeHTTP(w, seq[i].replay())
 	}
 	before := cached.Stats()
-	rep.Warm = measure(cached, seq, cfg.BenchTime)
+	warmPhase, err := eng.Phase("warm", func(p *scenario.Phase) error {
+		p.MixDigest(digest)
+		rep.Warm = measure(cached, seq, cfg.BenchTime)
+		instrument(p, cached, seq)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Warm.Latency = warmPhase.Wall
+	rep.Warm.Digest = fmt.Sprintf("%016x", digest)
 	after := cached.Stats()
 
 	if rep.Warm.NsPerOp > 0 {
@@ -337,6 +407,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rep.Warm.ResponsesPerSec, rep.Warm.NsPerOp, rep.Warm.AllocsPerOp)
 	fmt.Fprintf(stdout, "speedup: %.1fx ns/op, %.1fx allocs/op; warm hit ratio %.3f (%d signatures for %d requests)\n",
 		rep.SpeedupNs, rep.SpeedupAllocs, rep.CacheStats.HitRatio, rep.CacheStats.Signs, cfg.Requests)
+	fmt.Fprintf(stdout, "latency: cold p50 %v p99 %v p999 %v | warm p50 %v p99 %v p999 %v\n",
+		time.Duration(rep.Cold.Latency.P50Ns), time.Duration(rep.Cold.Latency.P99Ns), time.Duration(rep.Cold.Latency.P999Ns),
+		time.Duration(rep.Warm.Latency.P50Ns), time.Duration(rep.Warm.Latency.P99Ns), time.Duration(rep.Warm.Latency.P999Ns))
 	if cfg.Out != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {

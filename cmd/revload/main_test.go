@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -58,6 +59,74 @@ func TestRunWritesReport(t *testing.T) {
 	}
 	if !bytes.Contains(stdout.Bytes(), []byte("speedup")) {
 		t.Errorf("summary missing: %s", stdout.String())
+	}
+}
+
+// TestEngineRunMatchesDirectReplay is the differential check for the
+// scenario-engine rewire: the engine-bracketed run must replay exactly
+// the request stream a direct (pre-engine) replay sees — same sequence
+// digest, same steady-state cache behaviour — while newly reporting a
+// per-request latency distribution.
+func TestEngineRunMatchesDirectReplay(t *testing.T) {
+	cfg := Config{
+		Serials:         16,
+		Requests:        128,
+		GETFraction:     0.75,
+		ZipfS:           1.3,
+		RevokedFraction: 0.1,
+		Seed:            42,
+		BenchTime:       10 * time.Millisecond,
+	}
+
+	// Direct replay: build the same sequence the engine run builds and
+	// drive the warm path by hand, the way runLoad did before the
+	// engine existed.
+	authority, seq, err := buildSequence(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	directDigest := seqDigest(seq)
+	cached := authority.CachingResponder()
+	w := &discardRW{}
+	for pass := 0; pass < 2; pass++ {
+		for i := range seq {
+			clear(w.h)
+			cached.ServeHTTP(w, seq[i].replay())
+		}
+	}
+	directStats := cached.Stats()
+
+	rep, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("%016x", directDigest)
+	if rep.Cold.Digest != want || rep.Warm.Digest != want {
+		t.Errorf("engine digests %s/%s != direct %s", rep.Cold.Digest, rep.Warm.Digest, want)
+	}
+	// Steady state is identical: every distinct serial signed once, then
+	// pure hits.
+	if rep.CacheStats.Signs != directStats.Signs {
+		t.Errorf("engine signed %d, direct signed %d", rep.CacheStats.Signs, directStats.Signs)
+	}
+	if rep.CacheStats.HitRatio != 1 {
+		t.Errorf("engine warm hit ratio = %v, want 1", rep.CacheStats.HitRatio)
+	}
+	// The new reporting must actually be there.
+	if rep.Cold.Latency.Count != uint64(cfg.Requests) || rep.Warm.Latency.Count != uint64(cfg.Requests) {
+		t.Errorf("latency counts = %d/%d, want %d each",
+			rep.Cold.Latency.Count, rep.Warm.Latency.Count, cfg.Requests)
+	}
+	if rep.Cold.Latency.P99Ns <= 0 || rep.Warm.Latency.P99Ns <= 0 {
+		t.Errorf("p99 missing: cold %+v warm %+v", rep.Cold.Latency, rep.Warm.Latency)
+	}
+	// Two engine runs of the same config agree with each other too.
+	rep2, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Cold.Digest != rep.Cold.Digest {
+		t.Errorf("same config, different digests: %s vs %s", rep2.Cold.Digest, rep.Cold.Digest)
 	}
 }
 

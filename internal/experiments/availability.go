@@ -9,6 +9,8 @@ import (
 	"repro/internal/ca"
 	"repro/internal/crl"
 	"repro/internal/faultnet"
+	"repro/internal/hist"
+	"repro/internal/scenario"
 	"repro/internal/simnet"
 	"repro/internal/simtime"
 	"repro/internal/x509x"
@@ -105,6 +107,12 @@ func newAvailEnv() (*availEnv, error) {
 // Unavailability is injected as deterministic per-responder outage windows
 // on the virtual clock (faultnet.FaultOutage), so the result is a pure
 // function of the sweep's fixed seed.
+//
+// The sweep runs through the scenario engine: each availability level is
+// one phase, so the result also carries the per-evaluation wall-latency
+// distribution per level (Result.Latency). Rows and findings are
+// byte-identical to the pre-engine sweep — the legacy-oracle test pins
+// that.
 func Availability() (*Result, error) {
 	env, err := buildAvailEnv()
 	if err != nil {
@@ -124,6 +132,9 @@ func Availability() (*Result, error) {
 		Header: []string{"availability", "profile", "trials", "coverage", "accept_rate"},
 	}
 
+	eng := scenario.New("availability", 0xA7A1)
+	eng.Attach(env.net, nil)
+
 	// coverage[profile][level], acceptRate likewise.
 	coverage := map[string]map[float64]float64{}
 	acceptRate := map[string]map[float64]float64{}
@@ -136,40 +147,57 @@ func Availability() (*Result, error) {
 			Hosts:        env.leafHosts,
 			Now:          func() time.Time { return trialTime },
 		})
-		for _, p := range profiles {
-			client := &browser.Client{
-				Profile: p,
-				HTTP:    inj.Client(),
-				Now:     func() time.Time { return trialTime },
-				Timeout: 5 * time.Second,
-			}
-			detected, accepted := 0, 0
-			for i := 0; i < trials; i++ {
-				trialTime = env.base.Add(time.Duration(i) * step)
-				v, err := client.Evaluate(env.chain, nil)
-				if err != nil {
-					return nil, err
+		if _, err := eng.Phase(fmt.Sprintf("avail-%.2f", level), func(p *scenario.Phase) error {
+			// Trials are strictly serial, and the outage schedule is a
+			// pure function of (seed, virtual time), so the level's
+			// request multiset is scheduling-independent.
+			p.NetDeterministic()
+			for _, prof := range profiles {
+				client := &browser.Client{
+					Profile: prof,
+					HTTP:    inj.Client(),
+					Now:     func() time.Time { return trialTime },
+					Timeout: 5 * time.Second,
 				}
-				if v.RevocationDetected {
-					detected++
+				detected, accepted := 0, 0
+				for i := 0; i < trials; i++ {
+					trialTime = env.base.Add(time.Duration(i) * step)
+					t0 := time.Now()
+					v, err := client.Evaluate(env.chain, nil)
+					p.Record(time.Since(t0))
+					if err != nil {
+						return err
+					}
+					if v.RevocationDetected {
+						detected++
+					}
+					if v.Outcome == browser.OutcomeAccept {
+						accepted++
+					}
 				}
-				if v.Outcome == browser.OutcomeAccept {
-					accepted++
+				p.AddOps(trials)
+				p.MixDigest(uint64(detected)<<32 | uint64(accepted))
+				cov := float64(detected) / trials
+				acc := float64(accepted) / trials
+				if coverage[prof.Name] == nil {
+					coverage[prof.Name] = map[float64]float64{}
+					acceptRate[prof.Name] = map[float64]float64{}
 				}
+				coverage[prof.Name][level] = cov
+				acceptRate[prof.Name][level] = acc
+				res.Rows = append(res.Rows, []string{
+					fmt.Sprintf("%.2f", level), prof.Name, fmt.Sprint(trials),
+					fmt.Sprintf("%.3f", cov), fmt.Sprintf("%.3f", acc),
+				})
 			}
-			cov := float64(detected) / trials
-			acc := float64(accepted) / trials
-			if coverage[p.Name] == nil {
-				coverage[p.Name] = map[float64]float64{}
-				acceptRate[p.Name] = map[float64]float64{}
-			}
-			coverage[p.Name][level] = cov
-			acceptRate[p.Name][level] = acc
-			res.Rows = append(res.Rows, []string{
-				fmt.Sprintf("%.2f", level), p.Name, fmt.Sprint(trials),
-				fmt.Sprintf("%.3f", cov), fmt.Sprintf("%.3f", acc),
-			})
+			return nil
+		}); err != nil {
+			return nil, err
 		}
+	}
+	res.Latency = map[string]hist.Summary{}
+	for _, ph := range eng.Report().Phases {
+		res.Latency[ph.Name] = ph.Wall
 	}
 
 	ff, hard, ie, safari := coverage["Firefox 40"], acceptRate["Hardened"], acceptRate["IE 11"], acceptRate["iOS 6-8"]

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/browser"
+	"repro/internal/faultnet"
+)
+
+// availabilityLegacy is a frozen copy of the pre-scenario-engine sweep
+// loop. It is the differential oracle: the engine-driven Availability()
+// must produce byte-identical rows and findings inputs, because routing
+// measurement through the engine may add observation but never change
+// outcomes. Do not "fix" this copy to match refactors of the live sweep
+// — divergence is exactly what the test exists to catch.
+func availabilityLegacy() (*Result, error) {
+	env, err := buildAvailEnv()
+	if err != nil {
+		return nil, err
+	}
+	levels := []float64{0.99, 0.95, 0.90, 0.80, 0.70, 0.60, 0.50}
+	profiles := []*browser.Profile{
+		browser.Firefox40(), browser.Opera12(), browser.IE11(),
+		browser.Hardened(), browser.MobileSafari(),
+	}
+	const trials = 60
+	const step = 17 * time.Minute
+
+	res := &Result{
+		ID:     "availability",
+		Title:  "Effective revocation-check coverage vs responder availability",
+		Header: []string{"availability", "profile", "trials", "coverage", "accept_rate"},
+	}
+	for _, level := range levels {
+		var trialTime time.Time
+		inj := faultnet.New(env.net, faultnet.Config{
+			Seed:         0xA7A1,
+			Availability: level,
+			OutagePeriod: time.Hour,
+			Hosts:        env.leafHosts,
+			Now:          func() time.Time { return trialTime },
+		})
+		for _, p := range profiles {
+			client := &browser.Client{
+				Profile: p,
+				HTTP:    inj.Client(),
+				Now:     func() time.Time { return trialTime },
+				Timeout: 5 * time.Second,
+			}
+			detected, accepted := 0, 0
+			for i := 0; i < trials; i++ {
+				trialTime = env.base.Add(time.Duration(i) * step)
+				v, err := client.Evaluate(env.chain, nil)
+				if err != nil {
+					return nil, err
+				}
+				if v.RevocationDetected {
+					detected++
+				}
+				if v.Outcome == browser.OutcomeAccept {
+					accepted++
+				}
+			}
+			res.Rows = append(res.Rows, []string{
+				fmt.Sprintf("%.2f", level), p.Name, fmt.Sprint(trials),
+				fmt.Sprintf("%.3f", float64(detected)/trials),
+				fmt.Sprintf("%.3f", float64(accepted)/trials),
+			})
+		}
+	}
+	return res, nil
+}
+
+// TestAvailabilityMatchesLegacySweep runs the engine-driven sweep and
+// the frozen legacy loop and requires identical rows, plus the new
+// per-level latency summaries the legacy sweep never had.
+func TestAvailabilityMatchesLegacySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full availability sweep")
+	}
+	legacy, err := availabilityLegacy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := Availability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(live.Header, legacy.Header) {
+		t.Errorf("headers diverged:\n%v\n%v", live.Header, legacy.Header)
+	}
+	if !reflect.DeepEqual(live.Rows, legacy.Rows) {
+		t.Errorf("engine sweep rows diverged from legacy sweep:\nlive:   %v\nlegacy: %v", live.Rows, legacy.Rows)
+	}
+	// The engine adds what the legacy sweep could not measure: one
+	// latency distribution per availability level, 5 profiles x 60
+	// trials each.
+	if len(live.Latency) != 7 {
+		t.Fatalf("latency summaries for %d levels, want 7", len(live.Latency))
+	}
+	for name, s := range live.Latency {
+		if s.Count != 300 {
+			t.Errorf("%s: %d samples, want 300", name, s.Count)
+		}
+		if s.P99Ns <= 0 || s.P999Ns <= 0 {
+			t.Errorf("%s: tail quantiles missing: %+v", name, s)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/crlset"
+	"repro/internal/hist"
 	"repro/internal/simtime"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -39,6 +40,11 @@ type Result struct {
 	Header   []string
 	Rows     [][]string
 	Findings []Finding
+	// Latency, for experiments driven through the scenario engine, maps
+	// phase labels to the per-operation wall-latency distribution that
+	// phase measured. Informational: rows and findings never depend on
+	// it.
+	Latency map[string]hist.Summary
 }
 
 // Render formats the result as text: title, findings, then the data.

@@ -26,6 +26,7 @@ import (
 	"repro/internal/crawler"
 	"repro/internal/crl"
 	"repro/internal/faultnet"
+	"repro/internal/hist"
 	"repro/internal/ocsp"
 	"repro/internal/revdb"
 	"repro/internal/simnet"
@@ -48,6 +49,11 @@ type Options struct {
 	Faulty bool
 	// CertsPerCA sizes the population (default 14).
 	CertsPerCA int
+	// Latency, when non-nil, receives the wall-clock latency of every
+	// browser evaluation the day loop performs. Purely observational:
+	// outcomes and digests are identical with or without it (the
+	// no-change differential test holds the harness to that).
+	Latency *hist.Recorder
 }
 
 func (o *Options) fillDefaults() {
@@ -280,7 +286,11 @@ func Run(o Options) (*Outcome, error) {
 		for _, p := range profiles {
 			cl := &browser.Client{Profile: p, HTTP: inj.Client(), Now: clock.Now, Timeout: 5 * time.Second}
 			for _, tc := range chains {
+				t0 := time.Now()
 				v, err := cl.Evaluate(tc.chain, nil)
+				if o.Latency != nil {
+					o.Latency.Record(time.Since(t0))
+				}
 				if err != nil {
 					return nil, err
 				}

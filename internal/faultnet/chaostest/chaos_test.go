@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"testing"
 	"time"
+
+	"repro/internal/hist"
 )
 
 // seeds are the fixed chaos seeds `make chaos` pins; changing them changes
@@ -83,6 +85,40 @@ func TestFaultedConvergesToCleanBaseline(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestLatencyRecorderIsObservational is the no-change differential for
+// the scenario-engine instrumentation: attaching a latency recorder must
+// not perturb a run — same fault schedule, same decision trace, same
+// revocation database — while the recorder itself fills with one sample
+// per browser evaluation.
+func TestLatencyRecorderIsObservational(t *testing.T) {
+	seed := seeds[0]
+	bare, err := Run(Options{Seed: seed, Faulty: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec hist.Recorder
+	instrumented, err := Run(Options{Seed: seed, Faulty: true, Latency: &rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Faults.Digest != instrumented.Faults.Digest {
+		t.Errorf("recorder changed the fault schedule: %x vs %x", bare.Faults.Digest, instrumented.Faults.Digest)
+	}
+	if bare.Decisions != instrumented.Decisions {
+		t.Error("recorder changed the decision trace")
+	}
+	if bare.RevDB != instrumented.RevDB {
+		t.Error("recorder changed the revocation database")
+	}
+	// Default run: (8 days + 3 tail) x 2 profiles x 2 chains.
+	if want := uint64((8 + 3) * 2 * 2); rec.Count() != want {
+		t.Errorf("recorded %d evaluations, want %d", rec.Count(), want)
+	}
+	if rec.Snapshot().Summary().P99Ns <= 0 {
+		t.Error("no latency recorded")
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"net/http"
 	"runtime"
 	"sync"
 	"time"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/cascade"
 	"repro/internal/crl"
 	"repro/internal/crlset"
+	"repro/internal/hist"
 	"repro/internal/simnet"
 	"repro/internal/simtime"
 	"repro/internal/x509x"
@@ -280,6 +282,18 @@ type RunOptions struct {
 	// CascadeShards installs the world's sharded cascade set: verdicts
 	// route through the per-issuer shard path.
 	CascadeShards bool
+	// Client overrides the HTTP client the run's browsers share. Nil
+	// uses w.Net.Client() (the simnet fabric); the scenario engine sets
+	// it to route a run through a faultnet injector or a real-TCP
+	// transport without re-plumbing the world.
+	Client *http.Client
+	// Latency, when non-nil, receives every verdict's wall-clock
+	// latency: worker wk records into Latency.Shard(wk), so the warm
+	// verdict path stays allocation-free (two monotonic clock reads and
+	// one bucket increment per verdict). Wall latencies are real time,
+	// not virtual — report them, never fold them into determinism
+	// digests.
+	Latency *hist.Sharded
 }
 
 // Result aggregates one fleet run.
@@ -297,8 +311,14 @@ type Result struct {
 	// a fixed world.
 	Digest uint64
 
+	// Elapsed is this run's (phase's) wall time: measured from worker
+	// launch to the last worker's return, excluding world construction
+	// and the GC/ReadMemStats bracketing.
 	Elapsed        time.Duration
 	VerdictsPerSec float64
+	// Latency summarizes the per-verdict wall latencies recorded into
+	// RunOptions.Latency (zero when no histogram was supplied).
+	Latency hist.Summary
 	// AllocsPerVerdict / BytesPerVerdict are heap deltas over the run
 	// divided by verdict count (runtime.ReadMemStats, whole process).
 	AllocsPerVerdict float64
@@ -346,9 +366,13 @@ func (w *World) Run(opt RunOptions) (Result, error) {
 	if workers <= 0 {
 		workers = 1
 	}
+	httpClient := opt.Client
+	if httpClient == nil {
+		httpClient = w.Net.Client()
+	}
 	client := &browser.Client{
 		Profile: browser.Hardened(),
-		HTTP:    w.Net.Client(),
+		HTTP:    httpClient,
 		Now:     w.Clock.Now,
 		Cache:   opt.Store,
 	}
@@ -376,6 +400,11 @@ func (w *World) Run(opt RunOptions) (Result, error) {
 		cacheBefore = shardedStore.Stats()
 	}
 
+	var latBefore *hist.Snapshot
+	if opt.Latency != nil {
+		latBefore = opt.Latency.Snapshot()
+	}
+
 	runtime.GC()
 	var msBefore, msAfter runtime.MemStats
 	runtime.ReadMemStats(&msBefore)
@@ -387,13 +416,24 @@ func (w *World) Run(opt RunOptions) (Result, error) {
 		wg.Add(1)
 		go func(wk int) {
 			defer wg.Done()
+			var rec *hist.Recorder
+			if opt.Latency != nil {
+				rec = opt.Latency.Shard(wk)
+			}
 			var v browser.Verdict
 			for b := wk; b < w.Cfg.Browsers; b += workers {
 				agg := &aggs[b]
 				for _, ci := range w.plans[b] {
+					var t0 time.Time
+					if rec != nil {
+						t0 = time.Now()
+					}
 					if err := client.EvaluateInto(&v, w.Chains[ci], nil); err != nil {
 						errs[wk] = err
 						return
+					}
+					if rec != nil {
+						rec.Record(time.Since(t0))
 					}
 					switch v.Outcome {
 					case browser.OutcomeAccept:
@@ -457,6 +497,9 @@ func (w *World) Run(opt RunOptions) (Result, error) {
 		res.AllocsPerVerdict = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(res.Verdicts)
 		res.BytesPerVerdict = float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(res.Verdicts)
 	}
+	if opt.Latency != nil {
+		res.Latency = opt.Latency.Snapshot().Sub(latBefore).Summary()
+	}
 	if shardedStore != nil {
 		res.Cache = subStats(shardedStore.Stats(), cacheBefore)
 	}
@@ -480,6 +523,10 @@ type StampedeResult struct {
 	Hits  int64
 	// NetRequests is the fabric-observed request count for the stampede.
 	NetRequests int64
+	// Latency summarizes per-client wall latency: the fetcher pays the
+	// download, joiners pay the singleflight wait, and the tail shows
+	// what the collapse actually cost each client.
+	Latency hist.Summary
 }
 
 // Stampede points clients concurrent browsers at one CRL-only chain
@@ -505,12 +552,15 @@ func (w *World) Stampede(clients int) (StampedeResult, error) {
 	startGate.Add(1)
 	var wg sync.WaitGroup
 	errs := make([]error, clients)
+	lat := hist.NewSharded(clients) // one single-writer shard per client
 	for i := 0; i < clients; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			startGate.Wait()
+			t0 := time.Now()
 			_, err := client.Evaluate(chain, nil)
+			lat.Shard(i).Record(time.Since(t0))
 			errs[i] = err
 		}(i)
 	}
@@ -528,6 +578,7 @@ func (w *World) Stampede(clients int) (StampedeResult, error) {
 		Joins:       st.DedupeJoins,
 		Hits:        st.CRLHits,
 		NetRequests: int64(w.Net.TotalStats().Requests - netBefore),
+		Latency:     lat.Snapshot().Summary(),
 	}, nil
 }
 

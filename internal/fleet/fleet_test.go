@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/browser"
+	"repro/internal/hist"
 )
 
 func testWorld(t *testing.T, cfg Config) *World {
@@ -168,6 +169,54 @@ func TestBloomFastPathSkipsGoodFetches(t *testing.T) {
 	}
 }
 
+// TestLatencyRecording: a run with a histogram attached must record one
+// sample per verdict, report a sane summary, keep the digest identical
+// to an unrecorded run, and stay allocation-free relative to it on the
+// warm path (the hard 0-alloc gate lives in bench-fleet-check; here we
+// bound the drift so a regression fails fast in plain tests).
+func TestLatencyRecording(t *testing.T) {
+	cfg := Config{Browsers: 24, Certs: 64, EvalsPerBrowser: 12, Seed: 7}
+	w := testWorld(t, cfg)
+	store := browser.NewCache()
+	if _, err := w.Run(RunOptions{Workers: 2, Store: store}); err != nil {
+		t.Fatal(err) // warm the cache
+	}
+	bare, err := w.Run(RunOptions{Workers: 2, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := hist.NewSharded(2)
+	recorded, err := w.Run(RunOptions{Workers: 2, Store: store, Latency: lat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recorded.Digest != bare.Digest {
+		t.Errorf("latency recording changed the digest: %x vs %x", recorded.Digest, bare.Digest)
+	}
+	if recorded.Latency.Count != uint64(recorded.Verdicts) {
+		t.Errorf("recorded %d latencies for %d verdicts", recorded.Latency.Count, recorded.Verdicts)
+	}
+	if recorded.Latency.P50Ns <= 0 || recorded.Latency.MaxNs < recorded.Latency.P999Ns {
+		t.Errorf("implausible latency summary: %+v", recorded.Latency)
+	}
+	if snap := lat.Snapshot(); snap.Count != uint64(recorded.Verdicts) {
+		t.Errorf("caller-visible histogram holds %d samples, want %d", snap.Count, recorded.Verdicts)
+	}
+	if recorded.AllocsPerVerdict > bare.AllocsPerVerdict+0.5 {
+		t.Errorf("latency recording added allocations: %.2f vs %.2f allocs/verdict",
+			recorded.AllocsPerVerdict, bare.AllocsPerVerdict)
+	}
+	// A second recorded run must report only its own delta, not the
+	// cumulative histogram.
+	again, err := w.Run(RunOptions{Workers: 2, Store: store, Latency: lat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Latency.Count != uint64(again.Verdicts) {
+		t.Errorf("second run summary counted %d samples, want per-run %d", again.Latency.Count, again.Verdicts)
+	}
+}
+
 func TestStampedeCollapsesToOneFetch(t *testing.T) {
 	w := testWorld(t, Config{Browsers: 8, Certs: 16, EvalsPerBrowser: 4, Seed: 9})
 	res, err := w.Stampede(48)
@@ -182,6 +231,9 @@ func TestStampedeCollapsesToOneFetch(t *testing.T) {
 	}
 	if res.NetRequests != 1 {
 		t.Errorf("fabric saw %d requests, want 1", res.NetRequests)
+	}
+	if res.Latency.Count != uint64(res.Clients) {
+		t.Errorf("stampede recorded %d latencies for %d clients", res.Latency.Count, res.Clients)
 	}
 }
 

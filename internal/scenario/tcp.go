@@ -1,0 +1,122 @@
+package scenario
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/hist"
+)
+
+// TCP exposes the engine's virtual hosts over real localhost listeners:
+// one net/http server per host on 127.0.0.1:0, plus a host-mapping
+// transport so the same client code that runs against simnet runs over
+// actual sockets. Per-request latency over TCP is wall time (sockets
+// have no cost model), recorded into a histogram the engine attributes
+// to phases; TCP phases are therefore never net-deterministic.
+type TCP struct {
+	servers   []*http.Server
+	listeners []net.Listener
+	addrs     map[string]string
+
+	recMu sync.Mutex
+	rec   hist.Recorder
+
+	client *http.Client
+}
+
+// ExposeTCP starts a localhost listener for each named virtual host
+// (every registered host when none are named) and switches the engine's
+// Client to route through them. It fails if no fabric is attached or a
+// host has no handler; callers must Close the engine when done.
+func (e *Engine) ExposeTCP(hosts ...string) (*TCP, error) {
+	if e.Net == nil {
+		return nil, fmt.Errorf("scenario: ExposeTCP needs an attached simnet.Network")
+	}
+	if len(hosts) == 0 {
+		hosts = e.Net.Hosts()
+	}
+	t := &TCP{addrs: make(map[string]string, len(hosts))}
+	for _, host := range hosts {
+		handler := e.Net.Handler(host)
+		if handler == nil {
+			t.Close()
+			return nil, fmt.Errorf("scenario: host %q has no registered handler", host)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("scenario: listen for %q: %w", host, err)
+		}
+		srv := &http.Server{Handler: handler}
+		go srv.Serve(ln)
+		t.listeners = append(t.listeners, ln)
+		t.servers = append(t.servers, srv)
+		t.addrs[host] = ln.Addr().String()
+	}
+	t.client = &http.Client{Transport: &tcpTransport{tcp: t}}
+	e.tcp = t
+	return t, nil
+}
+
+// Addr returns the listener address serving a virtual host ("" when the
+// host is not exposed).
+func (t *TCP) Addr(host string) string { return t.addrs[host] }
+
+// Client returns the host-mapping HTTP client.
+func (t *TCP) Client() *http.Client { return t.client }
+
+// Close shuts every listener down.
+func (t *TCP) Close() error {
+	var first error
+	for _, srv := range t.servers {
+		if err := srv.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (t *TCP) snapshot() *hist.Snapshot {
+	t.recMu.Lock()
+	defer t.recMu.Unlock()
+	return t.rec.Snapshot()
+}
+
+// tcpTransport rewrites virtual host names to listener addresses and
+// records per-request wall latency. The recorder lock is per request,
+// which is cheap next to a real socket round trip.
+type tcpTransport struct {
+	tcp *TCP
+}
+
+func (tr *tcpTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	addr, ok := tr.tcp.addrs[req.URL.Hostname()]
+	if !ok {
+		return nil, fmt.Errorf("scenario: host %q not exposed over TCP", req.URL.Hostname())
+	}
+	mapped := req.Clone(req.Context())
+	mapped.URL.Host = addr
+	start := time.Now()
+	resp, err := http.DefaultTransport.RoundTrip(mapped)
+	if err == nil {
+		d := time.Since(start)
+		tr.tcp.recMu.Lock()
+		tr.tcp.rec.Record(d)
+		tr.tcp.recMu.Unlock()
+	}
+	return resp, err
+}
+
+// Close releases the engine's TCP exposure (no-op without one) and
+// reverts Client to the simnet fabric.
+func (e *Engine) Close() error {
+	if e.tcp == nil {
+		return nil
+	}
+	err := e.tcp.Close()
+	e.tcp = nil
+	return err
+}

@@ -11,12 +11,16 @@ package simnet
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/hist"
 )
 
 // CostModel converts transfer sizes into client-perceived latency.
@@ -25,6 +29,12 @@ type CostModel struct {
 	RTT time.Duration
 	// Bandwidth is the downstream rate in bytes per second.
 	Bandwidth float64
+	// OriginRTT, when positive, is the extra edge-to-origin round trip
+	// charged to responses a CDN tier forwarded to its origin (those
+	// stamped "X-Cache: MISS"). It is what makes CDN hit and origin
+	// miss latencies separable in the modelled service-time histograms;
+	// the default of zero preserves the pre-scenario cost accounting.
+	OriginRTT time.Duration
 }
 
 // DefaultCostModel approximates a 2015 broadband client: 40 ms RTT and
@@ -86,6 +96,19 @@ type Stats struct {
 	// ModelledTime is the total client-perceived latency under the
 	// network's cost model.
 	ModelledTime time.Duration
+	// Latency summarizes the per-request modelled service time (the
+	// same CostModel-derived virtual durations ModelledTime sums), so
+	// callers see the distribution, not just the total. It is a pure
+	// function of the byte stream: deterministic across runs and
+	// worker counts.
+	Latency hist.Summary
+}
+
+// hostRecord pairs one host's transfer counters with its service-time
+// histogram shard.
+type hostRecord struct {
+	stats Stats
+	lat   hist.Recorder
 }
 
 // Network is the in-process HTTP fabric. It implements http.RoundTripper.
@@ -96,7 +119,19 @@ type Network struct {
 	handlers map[string]http.Handler
 	failures map[string]FailureMode
 	total    Stats
-	perHost  map[string]*Stats
+	perHost  map[string]*hostRecord
+	// lat is the all-hosts service-time histogram; latHit/latMiss split
+	// the requests a CDN tier answered (X-Cache: HIT) from those it
+	// forwarded to the origin (X-Cache: MISS).
+	lat     hist.Recorder
+	latHit  hist.Recorder
+	latMiss hist.Recorder
+	// streamSum is an order-independent sum of per-request hashes over
+	// (method, host, status, CDN disposition) — deliberately excluding
+	// response bytes, whose randomized ECDSA signatures make sizes
+	// non-deterministic across runs. Two request streams with the same
+	// multiset of requests sum identically no matter how they raced.
+	streamSum uint64
 }
 
 // New returns an empty network with the default cost model.
@@ -105,7 +140,7 @@ func New() *Network {
 		Cost:     DefaultCostModel,
 		handlers: make(map[string]http.Handler),
 		failures: make(map[string]FailureMode),
-		perHost:  make(map[string]*Stats),
+		perHost:  make(map[string]*hostRecord),
 	}
 }
 
@@ -115,6 +150,27 @@ func (n *Network) Register(host string, h http.Handler) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.handlers[host] = h
+}
+
+// Handler returns the handler registered for host, or nil. The scenario
+// engine uses it to expose a virtual host over a real localhost listener
+// without re-plumbing the serving stack.
+func (n *Network) Handler(host string) http.Handler {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.handlers[host]
+}
+
+// Hosts returns every registered virtual host name, in no particular
+// order.
+func (n *Network) Hosts() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	hosts := make([]string, 0, len(n.handlers))
+	for h := range n.handlers {
+		hosts = append(hosts, h)
+	}
+	return hosts
 }
 
 // SetFailure injects (or clears, with FailNone) a failure mode for host.
@@ -171,27 +227,70 @@ func (n *Network) RoundTrip(req *http.Request) (*http.Response, error) {
 	}
 
 	size := len(rec.body)
+	cdn := header.Get("X-Cache") // set by the CDN tier, absent otherwise
+	cost := n.Cost.Cost(size)
+	if cdn == "MISS" {
+		cost += n.Cost.OriginRTT
+	}
 	n.mu.Lock()
 	n.total.Requests++
 	n.total.BytesReceived += int64(size)
-	n.total.ModelledTime += n.Cost.Cost(size)
+	n.total.ModelledTime += cost
+	n.streamSum += requestHash(req.Method, host, rec.code, cdn)
+	n.lat.Record(cost)
+	switch cdn {
+	case "HIT":
+		n.latHit.Record(cost)
+	case "MISS":
+		n.latMiss.Record(cost)
+	}
 	hs := n.perHost[host]
 	if hs == nil {
-		hs = &Stats{}
+		hs = &hostRecord{}
 		n.perHost[host] = hs
 	}
-	hs.Requests++
-	hs.BytesReceived += int64(size)
-	hs.ModelledTime += n.Cost.Cost(size)
+	hs.stats.Requests++
+	hs.stats.BytesReceived += int64(size)
+	hs.stats.ModelledTime += cost
+	hs.lat.Record(cost)
 	n.mu.Unlock()
 	return resp, nil
 }
 
-// TotalStats returns aggregate transfer statistics.
+// requestHash fingerprints one request's deterministic identity.
+func requestHash(method, host string, status int, cdn string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(method))
+	h.Write([]byte{0})
+	h.Write([]byte(host))
+	h.Write([]byte{0})
+	var w [8]byte
+	binary.LittleEndian.PutUint64(w[:], uint64(status))
+	h.Write(w[:])
+	h.Write([]byte(cdn))
+	return h.Sum64()
+}
+
+// StreamDigest returns the cumulative request-stream fingerprint: an
+// order-independent sum of per-request hashes over (method, host,
+// status, CDN disposition). Deltas of this value fingerprint a phase's
+// request multiset; the scenario engine uses them for determinism
+// checks, since — unlike service times — they are independent of
+// response sizes (and therefore of randomized signature lengths).
+func (n *Network) StreamDigest() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.streamSum
+}
+
+// TotalStats returns aggregate transfer statistics, including the
+// modelled service-time distribution summary.
 func (n *Network) TotalStats() Stats {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.total
+	out := n.total
+	out.Latency = n.lat.Snapshot().Summary()
+	return out
 }
 
 // HostStats returns transfer statistics for one host.
@@ -199,9 +298,41 @@ func (n *Network) HostStats(host string) Stats {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if hs := n.perHost[host]; hs != nil {
-		return *hs
+		out := hs.stats
+		out.Latency = hs.lat.Snapshot().Summary()
+		return out
 	}
 	return Stats{}
+}
+
+// LatencySnapshot returns the full service-time histogram over every
+// request the fabric carried. The snapshot is mergeable and deltable
+// (Snapshot.Sub), which is how the scenario engine attributes virtual
+// service time to phases.
+func (n *Network) LatencySnapshot() *hist.Snapshot {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.lat.Snapshot()
+}
+
+// HostLatencySnapshot returns one host's service-time histogram (empty
+// snapshot for an unknown host).
+func (n *Network) HostLatencySnapshot(host string) *hist.Snapshot {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if hs := n.perHost[host]; hs != nil {
+		return hs.lat.Snapshot()
+	}
+	return &hist.Snapshot{}
+}
+
+// CDNLatencySnapshots returns the service-time histograms of requests a
+// CDN tier served from cache (hit) versus forwarded to its origin
+// (miss). Requests that never traversed a CDN appear in neither.
+func (n *Network) CDNLatencySnapshots() (hit, miss *hist.Snapshot) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.latHit.Snapshot(), n.latMiss.Snapshot()
 }
 
 // recorder is a minimal in-memory http.ResponseWriter. It replaces
@@ -242,10 +373,14 @@ func (r *recorder) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
-// ResetStats zeroes all accounting.
+// ResetStats zeroes all accounting, histograms included.
 func (n *Network) ResetStats() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.total = Stats{}
-	n.perHost = make(map[string]*Stats)
+	n.perHost = make(map[string]*hostRecord)
+	n.streamSum = 0
+	n.lat.Reset()
+	n.latHit.Reset()
+	n.latMiss.Reset()
 }

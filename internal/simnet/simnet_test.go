@@ -112,6 +112,88 @@ func TestStatsAccounting(t *testing.T) {
 	}
 }
 
+func TestServiceTimeCapture(t *testing.T) {
+	n := New()
+	n.Cost = CostModel{RTT: 100 * time.Millisecond, Bandwidth: 1000} // 1 KB/s
+	n.Register("small.test", helloHandler(string(make([]byte, 100))))
+	n.Register("big.test", helloHandler(string(make([]byte, 900))))
+	client := n.Client()
+	for _, host := range []string{"small.test", "small.test", "big.test"} {
+		resp, err := client.Get("http://" + host + "/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	// small: 100ms + 100B/1000Bps = 200ms; big: 100ms + 900ms = 1s.
+	total := n.TotalStats()
+	if total.Latency.Count != 3 {
+		t.Fatalf("latency count = %d", total.Latency.Count)
+	}
+	if total.Latency.MaxNs != int64(time.Second) {
+		t.Errorf("latency max = %v", time.Duration(total.Latency.MaxNs))
+	}
+	if got := time.Duration(total.Latency.P50Ns); got > 200*time.Millisecond || got < 195*time.Millisecond {
+		t.Errorf("p50 = %v, want ~200ms (lower bucket bound)", got)
+	}
+	small := n.HostStats("small.test")
+	if small.Latency.Count != 2 || time.Duration(small.Latency.MaxNs) != 200*time.Millisecond {
+		t.Errorf("small host latency = %+v", small.Latency)
+	}
+	// The sum of per-request service times must be exactly ModelledTime.
+	snap := n.LatencySnapshot()
+	if time.Duration(snap.Sum) != total.ModelledTime {
+		t.Errorf("histogram sum %v != modelled time %v", time.Duration(snap.Sum), total.ModelledTime)
+	}
+	n.ResetStats()
+	if n.TotalStats().Latency.Count != 0 {
+		t.Error("ResetStats kept latency samples")
+	}
+}
+
+func TestCDNHitMissLatencySeparation(t *testing.T) {
+	clock := time.Date(2015, time.March, 1, 0, 0, 0, 0, time.UTC)
+	origin := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Cache-Control", "max-age=3600")
+		w.Write(make([]byte, 1000))
+	})
+	cdn := NewCDN(origin, func() time.Time { return clock })
+	n := New()
+	n.Cost = CostModel{RTT: 10 * time.Millisecond, Bandwidth: 1e6, OriginRTT: 50 * time.Millisecond}
+	n.Register("cdn.test", cdn)
+	client := n.Client()
+	for i := 0; i < 4; i++ {
+		resp, err := client.Get("http://cdn.test/shard.crl")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	hit, miss := n.CDNLatencySnapshots()
+	if miss.Count != 1 || hit.Count != 3 {
+		t.Fatalf("hit/miss counts = %d/%d, want 3/1", hit.Count, miss.Count)
+	}
+	// base cost: 10ms + 1000B at 1MB/s (1ms) = 11ms; miss adds 50ms OriginRTT.
+	if miss.Max <= hit.Max {
+		t.Errorf("origin miss (%v) should be slower than CDN hit (%v)",
+			time.Duration(miss.Max), time.Duration(hit.Max))
+	}
+	if want := 61 * time.Millisecond; time.Duration(miss.Max) != want {
+		t.Errorf("miss service time = %v, want %v", time.Duration(miss.Max), want)
+	}
+	if want := 11 * time.Millisecond; time.Duration(hit.Max) != want {
+		t.Errorf("hit service time = %v, want %v", time.Duration(hit.Max), want)
+	}
+	// ModelledTime includes the origin penalty exactly once.
+	if want := 4*11*time.Millisecond + 50*time.Millisecond; n.TotalStats().ModelledTime != want {
+		t.Errorf("modelled time = %v, want %v", n.TotalStats().ModelledTime, want)
+	}
+}
+
 func TestCostModel(t *testing.T) {
 	m := CostModel{RTT: 40 * time.Millisecond, Bandwidth: 1e6}
 	if got := m.Cost(0); got != 40*time.Millisecond {
